@@ -1,0 +1,44 @@
+//! Criterion benches for the completion-time estimators (Hadoop default vs
+//! Eq. 30) and the Eq. 31 resume-offset estimator — these run inside the
+//! Application Master's heartbeat path, so they must be cheap.
+
+use chronos_sim::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn running_attempt() -> Attempt {
+    let mut attempt = Attempt::pending(
+        AttemptId::new(0),
+        TaskId::new(0),
+        JobId::new(0),
+        SimTime::ZERO,
+        0.0,
+    );
+    attempt.start(NodeId::new(0), SimTime::ZERO, 2.0, 120.0);
+    attempt
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let attempt = running_attempt();
+    let now = SimTime::from_secs(45.0);
+    let mut group = c.benchmark_group("estimators");
+    group.bench_function("hadoop-default", |b| {
+        b.iter(|| estimate_completion_hadoop(&attempt, now))
+    });
+    group.bench_function("chronos-eq30", |b| {
+        b.iter(|| estimate_completion_chronos(&attempt, now, 1.0))
+    });
+    group.bench_function("resume-offset-eq31", |b| {
+        b.iter(|| estimate_resume_offset(&attempt, now, 1.0))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_estimators
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches for Algorithm 1: the hybrid optimizer must be cheap
+//! enough to run at every job submission (the paper runs it inside the
+//! Application Master), and it should beat the exhaustive reference search.
+
+use chronos_core::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn job(tasks: u32) -> JobProfile {
+    JobProfile::builder()
+        .tasks(tasks)
+        .t_min(20.0)
+        .beta(1.5)
+        .deadline(100.0)
+        .build()
+        .expect("valid job")
+}
+
+fn strategies() -> Vec<(&'static str, StrategyParams)> {
+    vec![
+        ("clone", StrategyParams::clone_strategy(80.0)),
+        (
+            "s-restart",
+            StrategyParams::restart(40.0, 80.0).expect("valid"),
+        ),
+        (
+            "s-resume",
+            StrategyParams::resume(40.0, 80.0, 0.3).expect("valid"),
+        ),
+    ]
+}
+
+fn bench_hybrid_vs_exhaustive(c: &mut Criterion) {
+    let optimizer = Optimizer::new(UtilityModel::default());
+    let profile = job(100);
+    let mut group = c.benchmark_group("optimizer");
+    for (label, params) in strategies() {
+        group.bench_with_input(
+            BenchmarkId::new("hybrid", label),
+            &params,
+            |b, params| b.iter(|| optimizer.optimize(&profile, params).expect("feasible")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", label),
+            &params,
+            |b, params| {
+                b.iter(|| {
+                    optimizer
+                        .optimize_exhaustive(&profile, params)
+                        .expect("feasible")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_job_size_scaling(c: &mut Criterion) {
+    let optimizer = Optimizer::new(UtilityModel::default());
+    let params = StrategyParams::resume(40.0, 80.0, 0.3).expect("valid");
+    let mut group = c.benchmark_group("optimizer-scaling");
+    for tasks in [10u32, 100, 1_000, 10_000] {
+        let profile = job(tasks);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &profile, |b, profile| {
+            b.iter(|| optimizer.optimize(profile, &params).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_hybrid_vs_exhaustive, bench_job_size_scaling
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion benches for the discrete-event simulator: events per second on
+//! the Figure 2 testbed workload and on a slice of the synthetic Google
+//! trace, for a baseline and a Chronos policy.
+
+use chronos_bench::{run_policy, testbed_sim_config, trace_sim_config};
+use chronos_strategies::prelude::*;
+use chronos_trace::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_testbed_workload(c: &mut Criterion) {
+    let jobs = TestbedWorkload::paper_setup(Benchmark::Sort, 3)
+        .with_jobs(20)
+        .generate()
+        .expect("workload");
+    let mut group = c.benchmark_group("simulator-testbed-20-jobs");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("hadoop-ns"), |b| {
+        b.iter(|| {
+            run_policy(
+                &testbed_sim_config(1),
+                Box::new(HadoopNoSpec::default()),
+                jobs.clone(),
+            )
+            .expect("simulation")
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("s-resume"), |b| {
+        b.iter(|| {
+            run_policy(
+                &testbed_sim_config(1),
+                Box::new(ResumePolicy::new(ChronosPolicyConfig::testbed())),
+                jobs.clone(),
+            )
+            .expect("simulation")
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace_slice(c: &mut Criterion) {
+    let jobs = GoogleTraceConfig::scaled(100, 5)
+        .generate()
+        .expect("trace")
+        .into_jobs();
+    let mut group = c.benchmark_group("simulator-trace-100-jobs");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("mantri"), |b| {
+        b.iter(|| {
+            run_policy(
+                &trace_sim_config(2),
+                Box::new(MantriPolicy::default()),
+                jobs.clone(),
+            )
+            .expect("simulation")
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("clone"), |b| {
+        b.iter(|| {
+            run_policy(
+                &trace_sim_config(2),
+                Box::new(ClonePolicy::new(
+                    ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default()),
+                )),
+                jobs.clone(),
+            )
+            .expect("simulation")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_testbed_workload, bench_trace_slice
+);
+criterion_main!(benches);

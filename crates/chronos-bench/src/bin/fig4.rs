@@ -1,0 +1,93 @@
+//! Figure 4(a–c): PoCD, Cost and Utility of Hadoop-NS, Hadoop-S, Clone,
+//! S-Restart and S-Resume as the Pareto tail index β sweeps 1.1 … 1.9.
+//!
+//! Trace-driven setup (Section VII.B): deadlines are twice the mean task
+//! execution time; a smaller β means a heavier tail, longer tasks and higher
+//! cost.
+
+use chronos_bench::{
+    figure2_lineup, measure, print_table, run_policy, trace_sim_config, write_json, Row, Scale,
+    UtilitySpec,
+};
+use chronos_strategies::prelude::*;
+use chronos_trace::prelude::*;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Fig4Cell {
+    beta: f64,
+    policy: String,
+    pocd: f64,
+    cost: f64,
+    utility: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let theta = 1e-4;
+    let betas = [1.1, 1.3, 1.5, 1.7, 1.9];
+
+    let chronos_config = ChronosPolicyConfig::with_theta(theta)
+        .expect("theta is valid")
+        .with_timing(StrategyTiming::trace_default());
+
+    let mut cells: Vec<Fig4Cell> = Vec::new();
+    for (index, beta) in betas.iter().enumerate() {
+        let trace = GoogleTraceConfig::scaled(scale.trace_jobs(), 31)
+            .with_beta(*beta)
+            .with_deadline_factor(2.0)
+            .generate()
+            .expect("trace generation");
+        let jobs = trace.into_jobs();
+
+        for (kind, policy) in figure2_lineup(chronos_config) {
+            let report = run_policy(&trace_sim_config(37 + index as u64), policy, jobs.clone())
+                .expect("simulation");
+            let m = measure(&report, UtilitySpec::new(theta, 0.0));
+            cells.push(Fig4Cell {
+                beta: *beta,
+                policy: kind.label().to_string(),
+                pocd: m.pocd,
+                cost: m.mean_machine_time,
+                utility: m.utility,
+            });
+        }
+    }
+
+    let policies = ["hadoop-ns", "hadoop-s", "clone", "s-restart", "s-resume"];
+    let table_for = |metric: &dyn Fn(&Fig4Cell) -> f64| -> Vec<Row> {
+        betas
+            .iter()
+            .map(|beta| {
+                let values = policies
+                    .iter()
+                    .map(|policy| {
+                        cells
+                            .iter()
+                            .find(|c| c.policy == *policy && c.beta == *beta)
+                            .map(metric)
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                Row::new(format!("beta = {beta:.1}"), values)
+            })
+            .collect()
+    };
+
+    print_table("Figure 4(a): PoCD vs beta", &policies, &table_for(&|c| c.pocd));
+    print_table(
+        "Figure 4(b): Cost vs beta (VM-seconds per job)",
+        &policies,
+        &table_for(&|c| c.cost),
+    );
+    print_table(
+        "Figure 4(c): Utility vs beta",
+        &policies,
+        &table_for(&|c| c.utility),
+    );
+
+    match write_json("fig4.json", &cells) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(err) => eprintln!("could not write results: {err}"),
+    }
+}

@@ -1,0 +1,420 @@
+//! # chronos-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! Chronos paper's evaluation (Section VII), plus Criterion micro-benchmarks
+//! for the optimizer, the analysis closed forms, the estimators and the
+//! simulator.
+//!
+//! Each binary prints the rows of the corresponding paper artifact and
+//! writes a JSON copy under `results/`:
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig2` | Figure 2(a–c): PoCD / Cost / Utility per benchmark |
+//! | `table1` | Table I: sweep of `τ_est` with `τ_kill − τ_est` fixed |
+//! | `table2` | Table II: sweep of `τ_kill` with `τ_est` fixed |
+//! | `fig3` | Figure 3(a–c): PoCD / Cost / Utility vs θ (incl. Mantri) |
+//! | `fig4` | Figure 4(a–c): PoCD / Cost / Utility vs Pareto β |
+//! | `fig5` | Figure 5: histogram of optimal `r` |
+//! | `validate_analysis` | Monte-Carlo validation of Theorems 1–6 |
+//! | `all_experiments` | Runs everything above in sequence |
+//!
+//! Every run is deterministic given the seed embedded in each binary.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+use chronos_sim::prelude::*;
+use chronos_strategies::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Aggregate measurement of one policy over one workload: the three axes the
+/// paper reports, plus diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Policy label (`hadoop-ns`, `clone`, …).
+    pub policy: String,
+    /// Fraction of jobs meeting their deadline.
+    pub pocd: f64,
+    /// Mean machine time per job, seconds of VM time.
+    pub mean_machine_time: f64,
+    /// Mean priced cost per job (`price × machine time`).
+    pub mean_cost: f64,
+    /// Net utility `lg(PoCD − R_min) − θ·mean cost`.
+    pub utility: f64,
+    /// Mean job turnaround, seconds (completed jobs only).
+    pub mean_completion_secs: Option<f64>,
+    /// Number of jobs measured.
+    pub jobs: usize,
+    /// Total attempts launched.
+    pub attempts: u64,
+    /// Histogram of the per-job `r` chosen by the policy's optimizer.
+    pub r_histogram: std::collections::BTreeMap<u32, usize>,
+}
+
+/// The utility parameters used when turning a [`SimulationReport`] into a
+/// [`Measurement`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilitySpec {
+    /// Tradeoff factor θ.
+    pub theta: f64,
+    /// PoCD floor `R_min`.
+    pub r_min: f64,
+}
+
+impl UtilitySpec {
+    /// Builds a utility specification.
+    #[must_use]
+    pub fn new(theta: f64, r_min: f64) -> Self {
+        UtilitySpec { theta, r_min }
+    }
+}
+
+/// Converts a simulation report into a [`Measurement`] under the given
+/// utility parameters. The utility uses the *mean cost* (priced machine
+/// time), matching how the paper reports its Cost axis.
+#[must_use]
+pub fn measure(report: &SimulationReport, utility: UtilitySpec) -> Measurement {
+    Measurement {
+        policy: report.policy.clone(),
+        pocd: report.pocd(),
+        mean_machine_time: report.mean_machine_time(),
+        mean_cost: report.mean_cost(),
+        utility: report.net_utility(utility.theta, utility.r_min),
+        mean_completion_secs: report.mean_completion_secs(),
+        jobs: report.job_count(),
+        attempts: report.total_attempts(),
+        r_histogram: report.chosen_r_histogram(),
+    }
+}
+
+/// Runs one policy over a workload and returns the raw simulation report.
+///
+/// # Errors
+///
+/// Propagates simulator configuration and runtime errors.
+pub fn run_policy(
+    config: &SimConfig,
+    policy: Box<dyn SpeculationPolicy>,
+    jobs: Vec<JobSpec>,
+) -> Result<SimulationReport, SimError> {
+    let mut sim = Simulation::new(config.clone(), policy)?;
+    sim.submit_all(jobs)?;
+    sim.run()
+}
+
+/// Runs one policy and reduces the report to a [`Measurement`] in one step.
+///
+/// # Errors
+///
+/// Propagates simulator configuration and runtime errors.
+pub fn run_and_measure(
+    config: &SimConfig,
+    policy: Box<dyn SpeculationPolicy>,
+    jobs: Vec<JobSpec>,
+    utility: UtilitySpec,
+) -> Result<Measurement, SimError> {
+    let report = run_policy(config, policy, jobs)?;
+    Ok(measure(&report, utility))
+}
+
+/// Simulator configuration for the testbed experiments (Figure 2, 40 nodes
+/// × 8 slots, JVM launch overhead enabled).
+#[must_use]
+pub fn testbed_sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        cluster: ClusterSpec::homogeneous(40, 8),
+        jvm: JvmModel::default(),
+        estimator: EstimatorKind::ChronosJvmAware,
+        progress_report_interval_secs: 1.0,
+        seed,
+        max_events: 0,
+    }
+}
+
+/// Simulator configuration for the trace-driven experiments (Figures 3–5,
+/// Tables I–II): a datacenter-scale container pool so queueing does not
+/// confound the strategy comparison. JVM launch overhead stays enabled and
+/// the Application Master uses Hadoop's stock progress-based estimator —
+/// this is what produces the "small `τ_est` over-estimates completion times
+/// and speculates too eagerly" behaviour that Tables I and II document.
+#[must_use]
+pub fn trace_sim_config(seed: u64) -> SimConfig {
+    SimConfig {
+        cluster: ClusterSpec::homogeneous(1_000, 8),
+        jvm: JvmModel::default(),
+        estimator: EstimatorKind::HadoopDefault,
+        progress_report_interval_secs: 1.0,
+        seed,
+        max_events: 0,
+    }
+}
+
+/// Experiment scale selected on the command line: `--quick` shrinks the
+/// workloads for smoke runs, `--paper` uses the paper's full sizes, the
+/// default is a middle ground that finishes in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Scale {
+    /// Tiny workloads for CI smoke tests.
+    Quick,
+    /// A few hundred jobs: the default.
+    #[default]
+    Standard,
+    /// The paper's full workload sizes.
+    Paper,
+}
+
+impl Scale {
+    /// Parses the scale from process arguments (`--quick` / `--paper`).
+    #[must_use]
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Scale::from_flags(&args)
+    }
+
+    /// Parses the scale from an explicit flag list (testable form).
+    #[must_use]
+    pub fn from_flags(flags: &[String]) -> Self {
+        if flags.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else if flags.iter().any(|a| a == "--paper") {
+            Scale::Paper
+        } else {
+            Scale::Standard
+        }
+    }
+
+    /// Number of jobs per benchmark for the Figure 2 workload.
+    #[must_use]
+    pub fn fig2_jobs(&self) -> u32 {
+        match self {
+            Scale::Quick => 20,
+            Scale::Standard | Scale::Paper => 100,
+        }
+    }
+
+    /// Number of jobs in the synthetic Google trace.
+    #[must_use]
+    pub fn trace_jobs(&self) -> u32 {
+        match self {
+            Scale::Quick => 100,
+            Scale::Standard => 500,
+            Scale::Paper => 2_700,
+        }
+    }
+}
+
+/// One row of a printed table: a label plus one value per column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Row {
+    /// Row label (strategy name, parameter setting, …).
+    pub label: String,
+    /// Column values, aligned with the header passed to [`print_table`].
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    #[must_use]
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Row {
+            label: label.into(),
+            values,
+        }
+    }
+}
+
+/// Prints a fixed-width table to stdout in the style of the paper's tables.
+pub fn print_table(title: &str, columns: &[&str], rows: &[Row]) {
+    println!("\n=== {title} ===");
+    print!("{:<30}", "");
+    for column in columns {
+        print!("{column:>14}");
+    }
+    println!();
+    for row in rows {
+        print!("{:<30}", row.label);
+        for value in &row.values {
+            if value.is_finite() {
+                print!("{value:>14.4}");
+            } else {
+                print!("{:>14}", "-inf");
+            }
+        }
+        println!();
+    }
+}
+
+/// Directory where experiment JSON output is written (`results/` at the
+/// workspace root, overridable via `CHRONOS_RESULTS_DIR`).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("CHRONOS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Serializes `value` as pretty JSON under [`results_dir`].
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] if the directory cannot be created or the
+/// file cannot be written.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    let json = serde_json::to_string_pretty(value).map_err(std::io::Error::other)?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Reads back a JSON artifact written by [`write_json`]; used by the
+/// integration tests to check the harness output is well-formed.
+///
+/// # Errors
+///
+/// Returns an [`std::io::Error`] when the file is missing or malformed.
+pub fn read_json<T: for<'de> Deserialize<'de>>(path: &Path) -> std::io::Result<T> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(std::io::Error::other)
+}
+
+/// The standard five-policy line-up of Figure 2 (Hadoop-NS, Hadoop-S and the
+/// three Chronos strategies) built for a given Chronos configuration.
+#[must_use]
+pub fn figure2_lineup(
+    config: ChronosPolicyConfig,
+) -> Vec<(PolicyKind, Box<dyn SpeculationPolicy>)> {
+    [
+        PolicyKind::HadoopNoSpec,
+        PolicyKind::HadoopSpeculate,
+        PolicyKind::Clone,
+        PolicyKind::SpeculativeRestart,
+        PolicyKind::SpeculativeResume,
+    ]
+    .into_iter()
+    .map(|kind| (kind, kind.build(config)))
+    .collect()
+}
+
+/// The four-policy line-up of Figure 3 (Mantri plus the three Chronos
+/// strategies).
+#[must_use]
+pub fn figure3_lineup(
+    config: ChronosPolicyConfig,
+) -> Vec<(PolicyKind, Box<dyn SpeculationPolicy>)> {
+    [
+        PolicyKind::Mantri,
+        PolicyKind::Clone,
+        PolicyKind::SpeculativeRestart,
+        PolicyKind::SpeculativeResume,
+    ]
+    .into_iter()
+    .map(|kind| (kind, kind.build(config)))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_trace::prelude::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::from_flags(&["bin".into()]), Scale::Standard);
+        assert_eq!(
+            Scale::from_flags(&["bin".into(), "--quick".into()]),
+            Scale::Quick
+        );
+        assert_eq!(
+            Scale::from_flags(&["bin".into(), "--paper".into()]),
+            Scale::Paper
+        );
+        assert!(Scale::Quick.fig2_jobs() < Scale::Paper.fig2_jobs());
+        assert!(Scale::Quick.trace_jobs() < Scale::Paper.trace_jobs());
+    }
+
+    #[test]
+    fn run_and_measure_small_workload() {
+        let jobs = TestbedWorkload::paper_setup(Benchmark::Sort, 3)
+            .with_jobs(5)
+            .generate()
+            .unwrap();
+        let config = testbed_sim_config(1);
+        let measurement = run_and_measure(
+            &config,
+            Box::new(HadoopNoSpec::default()),
+            jobs,
+            UtilitySpec::new(1e-4, 0.0),
+        )
+        .unwrap();
+        assert_eq!(measurement.jobs, 5);
+        assert_eq!(measurement.policy, "hadoop-ns");
+        assert!(measurement.mean_machine_time > 0.0);
+        assert!(measurement.pocd >= 0.0 && measurement.pocd <= 1.0);
+        assert!(measurement.attempts >= 50);
+    }
+
+    #[test]
+    fn chronos_policies_beat_baseline_pocd_on_testbed_workload() {
+        let workload = TestbedWorkload::paper_setup(Benchmark::Sort, 11).with_jobs(30);
+        let config = testbed_sim_config(5);
+        let chronos = ChronosPolicyConfig::testbed();
+        let baseline = run_and_measure(
+            &config,
+            Box::new(HadoopNoSpec::default()),
+            workload.generate().unwrap(),
+            UtilitySpec::new(1e-4, 0.0),
+        )
+        .unwrap();
+        let resume = run_and_measure(
+            &config,
+            Box::new(ResumePolicy::new(chronos)),
+            workload.generate().unwrap(),
+            UtilitySpec::new(1e-4, 0.0),
+        )
+        .unwrap();
+        assert!(
+            resume.pocd > baseline.pocd,
+            "S-Resume {} should beat Hadoop-NS {}",
+            resume.pocd,
+            baseline.pocd
+        );
+    }
+
+    #[test]
+    fn lineups_have_expected_members() {
+        let config = ChronosPolicyConfig::testbed();
+        let fig2 = figure2_lineup(config);
+        assert_eq!(fig2.len(), 5);
+        assert_eq!(fig2[0].0, PolicyKind::HadoopNoSpec);
+        let fig3 = figure3_lineup(config);
+        assert_eq!(fig3.len(), 4);
+        assert_eq!(fig3[0].0, PolicyKind::Mantri);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("chronos-bench-json-round-trip");
+        std::env::set_var("CHRONOS_RESULTS_DIR", &dir);
+        let rows = vec![Row::new("a", vec![1.0, 2.0]), Row::new("b", vec![3.0, 4.0])];
+        let path = write_json("unit-test.json", &rows).unwrap();
+        let back: Vec<Row> = read_json(&path).unwrap();
+        assert_eq!(rows, back);
+        std::env::remove_var("CHRONOS_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn print_table_handles_infinities() {
+        // Smoke test: must not panic on -inf utilities.
+        print_table(
+            "smoke",
+            &["PoCD", "Utility"],
+            &[Row::new("hadoop-ns", vec![0.4, f64::NEG_INFINITY])],
+        );
+    }
+}

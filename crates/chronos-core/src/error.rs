@@ -1,0 +1,127 @@
+//! Error types shared by the analytical crate.
+
+use std::fmt;
+
+/// Errors produced while constructing models or running the optimizer.
+///
+/// All public fallible functions in this crate return `Result<_, ChronosError>`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ChronosError {
+    /// A model parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable description of the accepted domain.
+        expected: &'static str,
+    },
+    /// Two parameters are individually valid but mutually inconsistent
+    /// (e.g. a deadline earlier than the minimum task time).
+    InconsistentParameters {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// A numerical routine failed to converge to the requested tolerance.
+    NumericalFailure {
+        /// Description of the routine and the failure.
+        detail: String,
+    },
+    /// The optimization problem is infeasible, e.g. no `r` achieves
+    /// `R(r) > R_min`.
+    Infeasible {
+        /// Description of why no feasible point exists.
+        detail: String,
+    },
+}
+
+impl ChronosError {
+    /// Convenience constructor for [`ChronosError::InvalidParameter`].
+    pub fn invalid(name: &'static str, value: f64, expected: &'static str) -> Self {
+        ChronosError::InvalidParameter {
+            name,
+            value,
+            expected,
+        }
+    }
+
+    /// Convenience constructor for [`ChronosError::InconsistentParameters`].
+    pub fn inconsistent(detail: impl Into<String>) -> Self {
+        ChronosError::InconsistentParameters {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ChronosError::NumericalFailure`].
+    pub fn numerical(detail: impl Into<String>) -> Self {
+        ChronosError::NumericalFailure {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`ChronosError::Infeasible`].
+    pub fn infeasible(detail: impl Into<String>) -> Self {
+        ChronosError::Infeasible {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for ChronosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChronosError::InvalidParameter {
+                name,
+                value,
+                expected,
+            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            ChronosError::InconsistentParameters { detail } => {
+                write!(f, "inconsistent parameters: {detail}")
+            }
+            ChronosError::NumericalFailure { detail } => {
+                write!(f, "numerical routine failed: {detail}")
+            }
+            ChronosError::Infeasible { detail } => write!(f, "infeasible problem: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ChronosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let err = ChronosError::invalid("beta", 0.5, "beta > 1");
+        let text = err.to_string();
+        assert!(text.contains("beta"));
+        assert!(text.contains("0.5"));
+    }
+
+    #[test]
+    fn display_inconsistent() {
+        let err = ChronosError::inconsistent("deadline below t_min");
+        assert!(err.to_string().contains("deadline below t_min"));
+    }
+
+    #[test]
+    fn display_numerical() {
+        let err = ChronosError::numerical("quadrature did not converge");
+        assert!(err.to_string().contains("quadrature"));
+    }
+
+    #[test]
+    fn display_infeasible() {
+        let err = ChronosError::infeasible("R(r) never exceeds R_min");
+        assert!(err.to_string().contains("R_min"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChronosError>();
+    }
+}

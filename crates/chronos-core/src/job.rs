@@ -1,0 +1,323 @@
+//! Job-level model parameters: number of tasks, task-time distribution and
+//! the application deadline (Section III, "Background and System Model").
+
+use crate::error::ChronosError;
+use crate::pareto::Pareto;
+use serde::{Deserialize, Serialize};
+
+/// The analytical profile of a MapReduce job.
+///
+/// A job consists of `N` parallel tasks whose attempt execution times are
+/// i.i.d. `Pareto(t_min, β)`, and it must complete every task before its
+/// deadline `D` to meet its SLA. `price` is the per-unit-time cost `C` of a
+/// virtual machine running one attempt.
+///
+/// Use [`JobProfile::builder`] to construct values; the builder validates
+/// the mutual constraints (for example `D > t_min`).
+///
+/// # Examples
+///
+/// ```
+/// use chronos_core::job::JobProfile;
+///
+/// # fn main() -> Result<(), chronos_core::ChronosError> {
+/// let job = JobProfile::builder()
+///     .tasks(10)
+///     .t_min(20.0)
+///     .beta(1.5)
+///     .deadline(100.0)
+///     .price(0.05)
+///     .build()?;
+/// assert_eq!(job.tasks(), 10);
+/// assert!((job.deadline() - 100.0).abs() < f64::EPSILON);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobProfile {
+    tasks: u32,
+    task_time: Pareto,
+    deadline: f64,
+    price: f64,
+}
+
+impl JobProfile {
+    /// Starts building a job profile.
+    #[must_use]
+    pub fn builder() -> JobProfileBuilder {
+        JobProfileBuilder::new()
+    }
+
+    /// Number of parallel tasks `N`.
+    #[must_use]
+    pub fn tasks(&self) -> u32 {
+        self.tasks
+    }
+
+    /// The per-attempt execution time distribution.
+    #[must_use]
+    pub fn task_time(&self) -> Pareto {
+        self.task_time
+    }
+
+    /// Minimum task execution time `t_min`.
+    #[must_use]
+    pub fn t_min(&self) -> f64 {
+        self.task_time.t_min()
+    }
+
+    /// Pareto tail index `β`.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.task_time.beta()
+    }
+
+    /// The job deadline `D` (relative to job start, seconds).
+    #[must_use]
+    pub fn deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// Per-unit-time VM price `C`.
+    #[must_use]
+    pub fn price(&self) -> f64 {
+        self.price
+    }
+
+    /// Returns a copy of this profile with a different deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InconsistentParameters`] if the new deadline
+    /// does not exceed `t_min`.
+    pub fn with_deadline(&self, deadline: f64) -> Result<Self, ChronosError> {
+        JobProfile::builder()
+            .tasks(self.tasks)
+            .t_min(self.t_min())
+            .beta(self.beta())
+            .deadline(deadline)
+            .price(self.price)
+            .build()
+    }
+
+    /// Returns a copy of this profile with a different tail index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InvalidParameter`] if `beta` is not a finite
+    /// positive value.
+    pub fn with_beta(&self, beta: f64) -> Result<Self, ChronosError> {
+        JobProfile::builder()
+            .tasks(self.tasks)
+            .t_min(self.t_min())
+            .beta(beta)
+            .deadline(self.deadline)
+            .price(self.price)
+            .build()
+    }
+
+    /// Expected execution time of a single attempt, when it exists (`β > 1`).
+    #[must_use]
+    pub fn mean_task_time(&self) -> Option<f64> {
+        self.task_time.mean()
+    }
+
+    /// The ratio `D / E[T]` of deadline to mean task time; a convenient
+    /// "deadline sensitivity" indicator used across the evaluation.
+    #[must_use]
+    pub fn deadline_slack(&self) -> Option<f64> {
+        self.mean_task_time().map(|m| self.deadline / m)
+    }
+}
+
+/// Builder for [`JobProfile`].
+#[derive(Debug, Clone)]
+pub struct JobProfileBuilder {
+    tasks: u32,
+    t_min: f64,
+    beta: f64,
+    deadline: f64,
+    price: f64,
+}
+
+impl Default for JobProfileBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobProfileBuilder {
+    /// Creates a builder pre-populated with the paper's testbed defaults:
+    /// 10 tasks, `t_min = 20 s`, `β = 1.5`, `D = 100 s`, `C = 1`.
+    #[must_use]
+    pub fn new() -> Self {
+        JobProfileBuilder {
+            tasks: 10,
+            t_min: 20.0,
+            beta: 1.5,
+            deadline: 100.0,
+            price: 1.0,
+        }
+    }
+
+    /// Sets the number of parallel tasks `N`.
+    #[must_use]
+    pub fn tasks(mut self, tasks: u32) -> Self {
+        self.tasks = tasks;
+        self
+    }
+
+    /// Sets the minimum task execution time `t_min` (seconds).
+    #[must_use]
+    pub fn t_min(mut self, t_min: f64) -> Self {
+        self.t_min = t_min;
+        self
+    }
+
+    /// Sets the Pareto tail index `β`.
+    #[must_use]
+    pub fn beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the job deadline `D` (seconds from job start).
+    #[must_use]
+    pub fn deadline(mut self, deadline: f64) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Sets the per-unit-time VM price `C`.
+    #[must_use]
+    pub fn price(mut self, price: f64) -> Self {
+        self.price = price;
+        self
+    }
+
+    /// Validates the parameters and produces the [`JobProfile`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ChronosError::InvalidParameter`] for out-of-domain individual
+    ///   values (`tasks == 0`, non-positive `t_min`/`beta`/`price`, …).
+    /// * [`ChronosError::InconsistentParameters`] when `deadline ≤ t_min`:
+    ///   no attempt can ever meet such a deadline and every PoCD formula
+    ///   degenerates.
+    pub fn build(self) -> Result<JobProfile, ChronosError> {
+        if self.tasks == 0 {
+            return Err(ChronosError::invalid("tasks", 0.0, "at least one task"));
+        }
+        let task_time = Pareto::new(self.t_min, self.beta)?;
+        if !(self.deadline.is_finite() && self.deadline > 0.0) {
+            return Err(ChronosError::invalid(
+                "deadline",
+                self.deadline,
+                "a finite value > 0",
+            ));
+        }
+        if self.deadline <= self.t_min {
+            return Err(ChronosError::inconsistent(format!(
+                "deadline {} must exceed the minimum task time {}",
+                self.deadline, self.t_min
+            )));
+        }
+        if !(self.price.is_finite() && self.price >= 0.0) {
+            return Err(ChronosError::invalid(
+                "price",
+                self.price,
+                "a finite value >= 0",
+            ));
+        }
+        Ok(JobProfile {
+            tasks: self.tasks,
+            task_time,
+            deadline: self.deadline,
+            price: self.price,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper_testbed() {
+        let job = JobProfile::builder().build().unwrap();
+        assert_eq!(job.tasks(), 10);
+        assert_eq!(job.t_min(), 20.0);
+        assert_eq!(job.beta(), 1.5);
+        assert_eq!(job.deadline(), 100.0);
+        assert_eq!(job.price(), 1.0);
+    }
+
+    #[test]
+    fn builder_rejects_zero_tasks() {
+        assert!(JobProfile::builder().tasks(0).build().is_err());
+    }
+
+    #[test]
+    fn builder_rejects_deadline_below_t_min() {
+        let err = JobProfile::builder()
+            .t_min(50.0)
+            .deadline(40.0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ChronosError::InconsistentParameters { .. }));
+    }
+
+    #[test]
+    fn builder_rejects_bad_price_and_deadline() {
+        assert!(JobProfile::builder().price(-1.0).build().is_err());
+        assert!(JobProfile::builder().deadline(f64::NAN).build().is_err());
+        assert!(JobProfile::builder().deadline(-5.0).build().is_err());
+    }
+
+    #[test]
+    fn with_deadline_revalidates() {
+        let job = JobProfile::builder().build().unwrap();
+        assert!(job.with_deadline(150.0).is_ok());
+        assert!(job.with_deadline(10.0).is_err());
+    }
+
+    #[test]
+    fn with_beta_revalidates() {
+        let job = JobProfile::builder().build().unwrap();
+        let heavy = job.with_beta(1.1).unwrap();
+        assert_eq!(heavy.beta(), 1.1);
+        assert!(job.with_beta(-1.0).is_err());
+    }
+
+    #[test]
+    fn deadline_slack() {
+        let job = JobProfile::builder()
+            .t_min(20.0)
+            .beta(2.0)
+            .deadline(80.0)
+            .build()
+            .unwrap();
+        // mean = 40, slack = 2
+        assert!((job.deadline_slack().unwrap() - 2.0).abs() < 1e-12);
+        let heavy = JobProfile::builder()
+            .beta(0.9)
+            .deadline(100.0)
+            .build()
+            .unwrap();
+        assert!(heavy.deadline_slack().is_none());
+    }
+
+    #[test]
+    fn rebuild_from_accessors_round_trips() {
+        let job = JobProfile::builder().tasks(25).price(0.07).build().unwrap();
+        let rebuilt = JobProfile::builder()
+            .tasks(job.tasks())
+            .t_min(job.t_min())
+            .beta(job.beta())
+            .deadline(job.deadline())
+            .price(job.price())
+            .build()
+            .unwrap();
+        assert_eq!(job, rebuilt);
+    }
+}

@@ -1,0 +1,353 @@
+//! Numerical routines used by the cost models and the optimizer.
+//!
+//! The Speculative-Restart cost expression (Theorem 4) contains an integral
+//! with no elementary antiderivative; [`integrate_adaptive`] and
+//! [`integrate_tail`] evaluate it. The optimizer (Algorithm 1) relies on
+//! [`central_difference`] for gradients of the net-utility objective and on
+//! [`golden_section_max`] as the line-search backend.
+
+use crate::error::ChronosError;
+
+/// Absolute tolerance used by default for quadrature.
+pub const DEFAULT_QUAD_TOL: f64 = 1e-10;
+
+/// Maximum recursion depth for adaptive Simpson quadrature.
+const MAX_DEPTH: u32 = 48;
+
+/// Adaptive Simpson quadrature of `f` over the finite interval `[a, b]`.
+///
+/// # Errors
+///
+/// Returns [`ChronosError::NumericalFailure`] if the bounds are not finite or
+/// `a > b`.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_core::numeric::integrate_adaptive;
+///
+/// # fn main() -> Result<(), chronos_core::ChronosError> {
+/// let area = integrate_adaptive(|x| x * x, 0.0, 3.0, 1e-10)?;
+/// assert!((area - 9.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn integrate_adaptive<F>(f: F, a: f64, b: f64, tol: f64) -> Result<f64, ChronosError>
+where
+    F: Fn(f64) -> f64,
+{
+    if !a.is_finite() || !b.is_finite() {
+        return Err(ChronosError::numerical(format!(
+            "integration bounds must be finite, got [{a}, {b}]"
+        )));
+    }
+    if a > b {
+        return Err(ChronosError::numerical(format!(
+            "integration requires a <= b, got [{a}, {b}]"
+        )));
+    }
+    if a == b {
+        return Ok(0.0);
+    }
+    let tol = if tol > 0.0 { tol } else { DEFAULT_QUAD_TOL };
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(a, b, fa, fm, fb);
+    Ok(adaptive_step(&f, a, b, fa, fm, fb, whole, tol, MAX_DEPTH))
+}
+
+/// Integrates `f` from `a` to infinity assuming `f` eventually decays at
+/// least as fast as `x^(-p)` with `p = decay_exponent > 1`.
+///
+/// Internally substitutes `x = a * exp(u)` which turns power-law decay into
+/// exponential decay, then truncates the transformed domain where the
+/// integrand magnitude falls below the requested tolerance.
+///
+/// # Errors
+///
+/// Returns [`ChronosError::NumericalFailure`] if `a <= 0`, if
+/// `decay_exponent <= 1`, or if the underlying quadrature fails.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_core::numeric::integrate_tail;
+///
+/// # fn main() -> Result<(), chronos_core::ChronosError> {
+/// // ∫_1^∞ x^-2 dx = 1
+/// let v = integrate_tail(|x| x.powi(-2), 1.0, 2.0, 1e-10)?;
+/// assert!((v - 1.0).abs() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+pub fn integrate_tail<F>(f: F, a: f64, decay_exponent: f64, tol: f64) -> Result<f64, ChronosError>
+where
+    F: Fn(f64) -> f64,
+{
+    if a <= 0.0 || !a.is_finite() {
+        return Err(ChronosError::numerical(format!(
+            "tail integration requires a finite positive lower bound, got {a}"
+        )));
+    }
+    if decay_exponent <= 1.0 {
+        return Err(ChronosError::numerical(format!(
+            "tail integration requires decay exponent > 1, got {decay_exponent}"
+        )));
+    }
+    // After x = a e^u the integrand becomes f(a e^u) * a e^u, which decays
+    // like e^{-(p-1) u}. Truncate where that factor reaches ~1e-14.
+    let u_max = (32.0 / (decay_exponent - 1.0)).min(700.0);
+    let transformed = |u: f64| {
+        let x = a * u.exp();
+        f(x) * x
+    };
+    integrate_adaptive(transformed, 0.0, u_max, tol)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adaptive_step<F>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64
+where
+    F: Fn(f64) -> f64,
+{
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson(a, m, fa, flm, fm);
+    let right = simpson(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        left + right + delta / 15.0
+    } else {
+        adaptive_step(f, a, m, fa, flm, fm, left, tol * 0.5, depth - 1)
+            + adaptive_step(f, m, b, fm, frm, fb, right, tol * 0.5, depth - 1)
+    }
+}
+
+fn simpson(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+/// Central-difference approximation of `d f / d x` at `x` with step `h`.
+///
+/// Used by the gradient phase of Algorithm 1 where the net-utility objective
+/// is treated as a function of a continuous relaxation of `r`.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_core::numeric::central_difference;
+///
+/// let d = central_difference(|x| x * x, 3.0, 1e-5);
+/// assert!((d - 6.0).abs() < 1e-4);
+/// ```
+pub fn central_difference<F>(f: F, x: f64, h: f64) -> f64
+where
+    F: Fn(f64) -> f64,
+{
+    let h = if h > 0.0 { h } else { 1e-6 };
+    (f(x + h) - f(x - h)) / (2.0 * h)
+}
+
+/// Golden-section search for the maximum of a unimodal function on `[lo, hi]`.
+///
+/// Returns the abscissa of the maximum. This is the line-search backend used
+/// on the concave tail (`r > Γ_strategy`) of the net-utility objective, where
+/// Theorem 8 guarantees unimodality.
+///
+/// # Errors
+///
+/// Returns [`ChronosError::NumericalFailure`] when the bounds are not finite
+/// or `lo > hi`.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_core::numeric::golden_section_max;
+///
+/// # fn main() -> Result<(), chronos_core::ChronosError> {
+/// let x = golden_section_max(|x| -(x - 2.0) * (x - 2.0), 0.0, 10.0, 1e-9)?;
+/// assert!((x - 2.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn golden_section_max<F>(f: F, lo: f64, hi: f64, tol: f64) -> Result<f64, ChronosError>
+where
+    F: Fn(f64) -> f64,
+{
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(ChronosError::numerical(format!(
+            "golden-section bounds must be finite, got [{lo}, {hi}]"
+        )));
+    }
+    if lo > hi {
+        return Err(ChronosError::numerical(format!(
+            "golden-section requires lo <= hi, got [{lo}, {hi}]"
+        )));
+    }
+    let tol = if tol > 0.0 { tol } else { 1e-9 };
+    let inv_phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+    let mut a = lo;
+    let mut b = hi;
+    let mut c = b - inv_phi * (b - a);
+    let mut d = a + inv_phi * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    let mut iterations = 0usize;
+    while (b - a).abs() > tol && iterations < 400 {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - inv_phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + inv_phi * (b - a);
+            fd = f(d);
+        }
+        iterations += 1;
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Clamps a floating-point value into a probability in `[0, 1]`.
+///
+/// Closed-form PoCD expressions can drift marginally outside `[0, 1]` due to
+/// floating-point rounding when the per-task failure probability is tiny.
+#[must_use]
+pub fn clamp_probability(p: f64) -> f64 {
+    if p.is_nan() {
+        return 0.0;
+    }
+    p.clamp(0.0, 1.0)
+}
+
+/// Returns `true` when two floats agree within an absolute and a relative
+/// tolerance; convenience helper used heavily in tests.
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, abs_tol: f64, rel_tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= abs_tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= rel_tol * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simpson_exact_for_cubics() {
+        // Simpson's rule is exact up to cubic polynomials.
+        let v = integrate_adaptive(|x| x * x * x, 0.0, 2.0, 1e-12).unwrap();
+        assert!((v - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrates_transcendental() {
+        let v = integrate_adaptive(|x| x.sin(), 0.0, std::f64::consts::PI, 1e-12).unwrap();
+        assert!((v - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_width_interval_is_zero() {
+        let v = integrate_adaptive(|x| x.exp(), 1.5, 1.5, 1e-10).unwrap();
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn rejects_reversed_bounds() {
+        let err = integrate_adaptive(|x| x, 2.0, 1.0, 1e-10).unwrap_err();
+        assert!(matches!(err, ChronosError::NumericalFailure { .. }));
+    }
+
+    #[test]
+    fn rejects_non_finite_bounds() {
+        let err = integrate_adaptive(|x| x, 0.0, f64::INFINITY, 1e-10).unwrap_err();
+        assert!(matches!(err, ChronosError::NumericalFailure { .. }));
+    }
+
+    #[test]
+    fn tail_integral_of_power_law() {
+        // ∫_2^∞ x^-3 dx = 1/(2*4) = 0.125
+        let v = integrate_tail(|x| x.powi(-3), 2.0, 3.0, 1e-12).unwrap();
+        assert!((v - 0.125).abs() < 1e-8, "got {v}");
+    }
+
+    #[test]
+    fn tail_integral_pareto_survival() {
+        // ∫_a^∞ (a/x)^β dx = a/(β-1)
+        let a = 5.0;
+        let beta = 1.5;
+        let v = integrate_tail(|x| (a / x).powf(beta), a, beta, 1e-12).unwrap();
+        assert!((v - a / (beta - 1.0)).abs() < 1e-6, "got {v}");
+    }
+
+    #[test]
+    fn tail_rejects_slow_decay() {
+        let err = integrate_tail(|x| 1.0 / x, 1.0, 1.0, 1e-10).unwrap_err();
+        assert!(matches!(err, ChronosError::NumericalFailure { .. }));
+    }
+
+    #[test]
+    fn tail_rejects_nonpositive_start() {
+        let err = integrate_tail(|x| x.powi(-2), 0.0, 2.0, 1e-10).unwrap_err();
+        assert!(matches!(err, ChronosError::NumericalFailure { .. }));
+    }
+
+    #[test]
+    fn central_difference_of_exponential() {
+        let d = central_difference(|x| x.exp(), 1.0, 1e-6);
+        assert!((d - 1.0f64.exp()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn golden_section_finds_parabola_peak() {
+        let x = golden_section_max(|x| 4.0 - (x - 3.5).powi(2), 0.0, 20.0, 1e-10).unwrap();
+        assert!((x - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_section_degenerate_interval() {
+        let x = golden_section_max(|x| -x * x, 2.0, 2.0, 1e-10).unwrap();
+        assert_eq!(x, 2.0);
+    }
+
+    #[test]
+    fn golden_section_rejects_reversed() {
+        assert!(golden_section_max(|x| x, 3.0, 1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn clamp_probability_handles_nan_and_overflow() {
+        assert_eq!(clamp_probability(f64::NAN), 0.0);
+        assert_eq!(clamp_probability(1.2), 1.0);
+        assert_eq!(clamp_probability(-0.3), 0.0);
+        assert_eq!(clamp_probability(0.42), 0.42);
+    }
+
+    #[test]
+    fn approx_eq_behaviour() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9, 1e-9));
+        assert!(approx_eq(1e9, 1e9 * (1.0 + 1e-10), 1e-9, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9, 1e-9));
+    }
+}

@@ -1,0 +1,469 @@
+//! The Pareto task execution-time model (Section III of the paper).
+//!
+//! Task attempt execution times are modelled as i.i.d. Pareto random
+//! variables with scale `t_min` (the minimum execution time) and tail index
+//! `β`. This module provides the density, distribution, survival and
+//! quantile functions, exact moments, the order-statistic expectation of
+//! Lemma 1, the conditional forms used in the proofs of Theorems 4 and 6
+//! (Lemma 3), and deterministic sampling.
+
+use crate::error::ChronosError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Pareto distribution with scale `t_min > 0` and shape (tail index) `β > 0`.
+///
+/// The probability density is `f(t) = β·t_min^β / t^(β+1)` for `t ≥ t_min`
+/// and zero otherwise (Eq. 2 in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use chronos_core::pareto::Pareto;
+///
+/// # fn main() -> Result<(), chronos_core::ChronosError> {
+/// let p = Pareto::new(20.0, 1.5)?;
+/// assert!((p.mean().unwrap() - 60.0).abs() < 1e-9);
+/// assert!((p.survival(40.0) - (0.5f64).powf(1.5)).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    t_min: f64,
+    beta: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution with the given scale and tail index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InvalidParameter`] if `t_min <= 0`, `beta <= 0`
+    /// or either value is not finite.
+    pub fn new(t_min: f64, beta: f64) -> Result<Self, ChronosError> {
+        if !(t_min.is_finite() && t_min > 0.0) {
+            return Err(ChronosError::invalid("t_min", t_min, "a finite value > 0"));
+        }
+        if !(beta.is_finite() && beta > 0.0) {
+            return Err(ChronosError::invalid("beta", beta, "a finite value > 0"));
+        }
+        Ok(Pareto { t_min, beta })
+    }
+
+    /// The minimum execution time `t_min` (scale parameter).
+    #[must_use]
+    pub fn t_min(&self) -> f64 {
+        self.t_min
+    }
+
+    /// The tail index `β` (shape parameter).
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Probability density function `f(t)`.
+    #[must_use]
+    pub fn pdf(&self, t: f64) -> f64 {
+        if t < self.t_min {
+            0.0
+        } else {
+            self.beta * self.t_min.powf(self.beta) / t.powf(self.beta + 1.0)
+        }
+    }
+
+    /// Cumulative distribution function `P(T ≤ t)`.
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= self.t_min {
+            0.0
+        } else {
+            1.0 - (self.t_min / t).powf(self.beta)
+        }
+    }
+
+    /// Survival function `P(T > t)`.
+    ///
+    /// This is the per-attempt deadline-miss probability used throughout the
+    /// PoCD analysis: `P_Clone = (t_min / D)^β` (Eq. 4).
+    #[must_use]
+    pub fn survival(&self, t: f64) -> f64 {
+        if t <= self.t_min {
+            1.0
+        } else {
+            (self.t_min / t).powf(self.beta)
+        }
+    }
+
+    /// Quantile function: the smallest `t` with `P(T ≤ t) ≥ p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InvalidParameter`] if `p` is outside `[0, 1)`.
+    pub fn quantile(&self, p: f64) -> Result<f64, ChronosError> {
+        if !(0.0..1.0).contains(&p) {
+            return Err(ChronosError::invalid("p", p, "a probability in [0, 1)"));
+        }
+        Ok(self.t_min / (1.0 - p).powf(1.0 / self.beta))
+    }
+
+    /// Mean `E[T] = t_min·β / (β − 1)`, or `None` when `β ≤ 1` (infinite mean).
+    ///
+    /// The paper writes the same quantity as `t_min + t_min/(β − 1)`.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.beta > 1.0 {
+            Some(self.t_min * self.beta / (self.beta - 1.0))
+        } else {
+            None
+        }
+    }
+
+    /// Variance, or `None` when `β ≤ 2` (infinite variance).
+    #[must_use]
+    pub fn variance(&self) -> Option<f64> {
+        if self.beta > 2.0 {
+            let b = self.beta;
+            Some(self.t_min * self.t_min * b / ((b - 1.0) * (b - 1.0) * (b - 2.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Median of the distribution.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.t_min * 2.0_f64.powf(1.0 / self.beta)
+    }
+
+    /// Expected value of the minimum of `n` i.i.d. draws (**Lemma 1**):
+    /// `E[min(T_1, …, T_n)] = t_min·n·β / (n·β − 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InvalidParameter`] if `n == 0`, or
+    /// [`ChronosError::InconsistentParameters`] if `n·β ≤ 1` so the
+    /// expectation does not exist.
+    pub fn expected_min_of(&self, n: u32) -> Result<f64, ChronosError> {
+        if n == 0 {
+            return Err(ChronosError::invalid("n", 0.0, "a positive count"));
+        }
+        let nb = f64::from(n) * self.beta;
+        if nb <= 1.0 {
+            return Err(ChronosError::inconsistent(format!(
+                "n*beta = {nb} <= 1, the minimum has infinite mean"
+            )));
+        }
+        Ok(self.t_min * nb / (nb - 1.0))
+    }
+
+    /// Distribution of the minimum of `n` i.i.d. draws, which is again Pareto
+    /// with the same scale and tail index `n·β`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InvalidParameter`] if `n == 0`.
+    pub fn min_of(&self, n: u32) -> Result<Pareto, ChronosError> {
+        if n == 0 {
+            return Err(ChronosError::invalid("n", 0.0, "a positive count"));
+        }
+        Pareto::new(self.t_min, self.beta * f64::from(n))
+    }
+
+    /// The conditional distribution of `T` given `T > threshold`
+    /// (**Lemma 3**): for a Pareto variable this is again Pareto with scale
+    /// `max(threshold, t_min)` and the same tail index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InvalidParameter`] if `threshold` is not
+    /// finite.
+    pub fn conditional_above(&self, threshold: f64) -> Result<Pareto, ChronosError> {
+        if !threshold.is_finite() {
+            return Err(ChronosError::invalid(
+                "threshold",
+                threshold,
+                "a finite value",
+            ));
+        }
+        Pareto::new(threshold.max(self.t_min), self.beta)
+    }
+
+    /// Conditional mean `E[T | T ≤ bound]`, the machine time of an original
+    /// attempt that meets its deadline (the `E(T_j | T_{j,1} ≤ D)` term of
+    /// Theorems 4 and 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InconsistentParameters`] if `bound ≤ t_min`
+    /// (the conditioning event has probability zero).
+    pub fn conditional_mean_below(&self, bound: f64) -> Result<f64, ChronosError> {
+        if bound <= self.t_min {
+            return Err(ChronosError::inconsistent(format!(
+                "conditional mean below {bound} undefined: bound must exceed t_min = {}",
+                self.t_min
+            )));
+        }
+        let b = self.beta;
+        let t = self.t_min;
+        if (b - 1.0).abs() < 1e-12 {
+            // β = 1: E[T | T ≤ D] = t_min·D·ln(D/t_min) / (D − t_min).
+            return Ok(t * bound * (bound / t).ln() / (bound - t));
+        }
+        // Paper form: t_min·D·β·(t_min^(β−1) − D^(β−1)) / ((1−β)·(D^β − t_min^β)).
+        let numerator = t * bound * b * (t.powf(b - 1.0) - bound.powf(b - 1.0));
+        let denominator = (1.0 - b) * (bound.powf(b) - t.powf(b));
+        Ok(numerator / denominator)
+    }
+
+    /// Conditional mean `E[T | T > bound]`.
+    ///
+    /// For a Pareto distribution this is `bound·β/(β−1)` when `bound ≥ t_min`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InconsistentParameters`] if `β ≤ 1` (the
+    /// conditional mean is infinite).
+    pub fn conditional_mean_above(&self, bound: f64) -> Result<f64, ChronosError> {
+        if self.beta <= 1.0 {
+            return Err(ChronosError::inconsistent(
+                "conditional mean above a threshold is infinite for beta <= 1",
+            ));
+        }
+        let effective = bound.max(self.t_min);
+        Ok(effective * self.beta / (self.beta - 1.0))
+    }
+
+    /// Draws one sample by inverse-CDF transform using the supplied RNG.
+    ///
+    /// Sampling through the quantile function keeps the simulator
+    /// reproducible under a seeded RNG, which matters for the trace-driven
+    /// experiments.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.t_min / (1.0 - u).powf(1.0 / self.beta)
+    }
+
+    /// Draws `n` samples into a freshly allocated vector.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+impl Default for Pareto {
+    /// The default model used across the evaluation section: `t_min = 20 s`
+    /// and `β = 1.5` (the paper observes `β < 2` on its testbed).
+    fn default() -> Self {
+        Pareto {
+            t_min: 20.0,
+            beta: 1.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dist() -> Pareto {
+        Pareto::new(10.0, 1.5).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Pareto::new(0.0, 1.5).is_err());
+        assert!(Pareto::new(-3.0, 1.5).is_err());
+        assert!(Pareto::new(10.0, 0.0).is_err());
+        assert!(Pareto::new(10.0, -1.0).is_err());
+        assert!(Pareto::new(f64::NAN, 1.5).is_err());
+        assert!(Pareto::new(10.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pdf_zero_below_t_min() {
+        let p = dist();
+        assert_eq!(p.pdf(5.0), 0.0);
+        assert!(p.pdf(10.0) > 0.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let p = dist();
+        let mass =
+            crate::numeric::integrate_tail(|t| p.pdf(t), p.t_min(), p.beta() + 1.0, 1e-12).unwrap();
+        assert!((mass - 1.0).abs() < 1e-6, "got {mass}");
+    }
+
+    #[test]
+    fn cdf_survival_complementary() {
+        let p = dist();
+        for t in [10.0, 12.5, 20.0, 100.0, 1e6] {
+            assert!((p.cdf(t) + p.survival(t) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cdf_at_and_below_scale() {
+        let p = dist();
+        assert_eq!(p.cdf(10.0), 0.0);
+        assert_eq!(p.cdf(3.0), 0.0);
+        assert_eq!(p.survival(3.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let p = dist();
+        for prob in [0.0, 0.1, 0.5, 0.9, 0.999] {
+            let t = p.quantile(prob).unwrap();
+            assert!((p.cdf(t) - prob).abs() < 1e-9, "prob {prob}");
+        }
+        assert!(p.quantile(1.0).is_err());
+        assert!(p.quantile(-0.1).is_err());
+    }
+
+    #[test]
+    fn mean_matches_paper_form() {
+        let p = dist();
+        // t_min + t_min/(β−1) = 10 + 20 = 30 = t_min·β/(β−1).
+        assert!((p.mean().unwrap() - 30.0).abs() < 1e-12);
+        let heavy = Pareto::new(10.0, 0.9).unwrap();
+        assert!(heavy.mean().is_none());
+    }
+
+    #[test]
+    fn variance_only_for_beta_above_two() {
+        assert!(dist().variance().is_none());
+        let light = Pareto::new(10.0, 3.0).unwrap();
+        let v = light.variance().unwrap();
+        assert!((v - 10.0 * 10.0 * 3.0 / (4.0 * 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn median_formula() {
+        let p = dist();
+        assert!((p.cdf(p.median()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_expected_minimum() {
+        let p = dist();
+        // n = 3: E[min] = t_min·3β/(3β−1) = 10·4.5/3.5
+        let e = p.expected_min_of(3).unwrap();
+        assert!((e - 10.0 * 4.5 / 3.5).abs() < 1e-12);
+        // n = 1 recovers the plain mean.
+        assert!((p.expected_min_of(1).unwrap() - p.mean().unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lemma1_rejects_undefined_cases() {
+        let p = Pareto::new(10.0, 0.5).unwrap();
+        assert!(p.expected_min_of(1).is_err());
+        assert!(p.expected_min_of(2).is_err());
+        assert!(p.expected_min_of(3).is_ok());
+        assert!(dist().expected_min_of(0).is_err());
+    }
+
+    #[test]
+    fn min_of_matches_survival_product() {
+        let p = dist();
+        let m = p.min_of(4).unwrap();
+        for t in [11.0, 20.0, 50.0] {
+            assert!((m.survival(t) - p.survival(t).powi(4)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lemma3_conditional_above() {
+        let p = dist();
+        let c = p.conditional_above(25.0).unwrap();
+        assert_eq!(c.t_min(), 25.0);
+        assert_eq!(c.beta(), p.beta());
+        // Conditioning below the scale leaves the distribution unchanged.
+        let same = p.conditional_above(5.0).unwrap();
+        assert_eq!(same, p);
+    }
+
+    #[test]
+    fn conditional_mean_below_against_quadrature() {
+        let p = dist();
+        let bound = 40.0;
+        let closed = p.conditional_mean_below(bound).unwrap();
+        let numer =
+            crate::numeric::integrate_adaptive(|t| t * p.pdf(t), p.t_min(), bound, 1e-12).unwrap();
+        let numeric = numer / p.cdf(bound);
+        assert!((closed - numeric).abs() < 1e-6, "{closed} vs {numeric}");
+    }
+
+    #[test]
+    fn conditional_mean_below_beta_one() {
+        let p = Pareto::new(10.0, 1.0).unwrap();
+        let bound = 50.0;
+        let closed = p.conditional_mean_below(bound).unwrap();
+        let numer =
+            crate::numeric::integrate_adaptive(|t| t * p.pdf(t), p.t_min(), bound, 1e-12).unwrap();
+        let numeric = numer / p.cdf(bound);
+        assert!((closed - numeric).abs() < 1e-6, "{closed} vs {numeric}");
+    }
+
+    #[test]
+    fn conditional_mean_below_rejects_small_bound() {
+        assert!(dist().conditional_mean_below(10.0).is_err());
+        assert!(dist().conditional_mean_below(2.0).is_err());
+    }
+
+    #[test]
+    fn conditional_mean_above_scaling() {
+        let p = dist();
+        let m = p.conditional_mean_above(100.0).unwrap();
+        assert!((m - 100.0 * 1.5 / 0.5).abs() < 1e-9);
+        // Below t_min the condition is vacuous and we recover the mean.
+        assert!((p.conditional_mean_above(0.0).unwrap() - p.mean().unwrap()).abs() < 1e-12);
+        let heavy = Pareto::new(10.0, 1.0).unwrap();
+        assert!(heavy.conditional_mean_above(20.0).is_err());
+    }
+
+    #[test]
+    fn samples_respect_support_and_mean() {
+        let p = dist();
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples = p.sample_n(&mut rng, 200_000);
+        assert!(samples.iter().all(|&s| s >= p.t_min()));
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        // β = 1.5 has a heavy tail, allow a loose tolerance on the sample mean.
+        assert!((mean - 30.0).abs() < 2.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn sample_empirical_cdf_matches() {
+        let p = dist();
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples = p.sample_n(&mut rng, 100_000);
+        for t in [12.0, 20.0, 40.0] {
+            let empirical =
+                samples.iter().filter(|&&s| s <= t).count() as f64 / samples.len() as f64;
+            assert!(
+                (empirical - p.cdf(t)).abs() < 0.01,
+                "t = {t}: {empirical} vs {}",
+                p.cdf(t)
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let p = dist();
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        assert_eq!(p.sample_n(&mut a, 32), p.sample_n(&mut b, 32));
+    }
+
+    #[test]
+    fn default_matches_evaluation_setup() {
+        let d = Pareto::default();
+        assert_eq!(d.t_min(), 20.0);
+        assert_eq!(d.beta(), 1.5);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property-based tests (proptest) for the analytical core: the closed forms
+//! must respect their structural invariants over the whole parameter domain,
+//! not just at the hand-picked values of the unit tests.
+
+use chronos_core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy-space generator: valid job and timing parameters for which every
+/// closed form is defined.
+fn job_and_timing() -> impl Strategy<Value = (JobProfile, f64, f64, f64)> {
+    (
+        2u32..200,            // tasks
+        5.0f64..60.0,         // t_min
+        1.05f64..1.95,        // beta
+        1.5f64..8.0,          // deadline as multiple of t_min
+        0.05f64..0.45,        // tau_est as fraction of deadline
+        0.1f64..0.9,          // phi_est
+    )
+        .prop_map(|(tasks, t_min, beta, d_factor, est_frac, phi)| {
+            let deadline = d_factor * t_min;
+            let job = JobProfile::builder()
+                .tasks(tasks)
+                .t_min(t_min)
+                .beta(beta)
+                .deadline(deadline)
+                .build()
+                .expect("generated job parameters are valid");
+            let tau_est = est_frac * deadline;
+            let tau_kill = tau_est + 0.4 * t_min;
+            (job, tau_est, tau_kill, phi)
+        })
+        .prop_filter("reactive window must exceed t_min", |(job, tau_est, _, _)| {
+            job.deadline() - tau_est > job.t_min() + 1e-6
+        })
+}
+
+fn all_strategies(
+    tau_est: f64,
+    tau_kill: f64,
+    phi: f64,
+) -> Vec<StrategyParams> {
+    vec![
+        StrategyParams::clone_strategy(tau_kill),
+        StrategyParams::restart(tau_est, tau_kill).expect("valid restart timing"),
+        StrategyParams::resume(tau_est, tau_kill, phi).expect("valid resume timing"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pareto CDF and survival are complementary and the quantile inverts
+    /// the CDF everywhere.
+    #[test]
+    fn pareto_cdf_quantile_inverse(
+        t_min in 0.5f64..100.0,
+        beta in 0.2f64..5.0,
+        p in 0.0f64..0.999,
+    ) {
+        let dist = Pareto::new(t_min, beta).unwrap();
+        let q = dist.quantile(p).unwrap();
+        prop_assert!((dist.cdf(q) - p).abs() < 1e-9);
+        prop_assert!((dist.cdf(q) + dist.survival(q) - 1.0).abs() < 1e-12);
+    }
+
+    /// Lemma 1: the closed-form expectation of the minimum equals the mean
+    /// of the min-distribution (Pareto with tail n·β).
+    #[test]
+    fn lemma1_consistent_with_min_distribution(
+        t_min in 1.0f64..50.0,
+        beta in 0.6f64..3.0,
+        n in 1u32..12,
+    ) {
+        let dist = Pareto::new(t_min, beta).unwrap();
+        let nb = f64::from(n) * beta;
+        if nb > 1.0 {
+            let lemma = dist.expected_min_of(n).unwrap();
+            let via_min = dist.min_of(n).unwrap().mean().unwrap();
+            prop_assert!((lemma - via_min).abs() < 1e-9 * lemma.max(1.0));
+        } else {
+            prop_assert!(dist.expected_min_of(n).is_err());
+        }
+    }
+
+    /// PoCD is a probability, non-decreasing in r, and non-decreasing in the
+    /// deadline, for every strategy.
+    #[test]
+    fn pocd_monotonicity((job, tau_est, tau_kill, phi) in job_and_timing()) {
+        for params in all_strategies(tau_est, tau_kill, phi) {
+            let model = PocdModel::new(job, params).unwrap();
+            let mut previous = 0.0;
+            for r in 0..8u32 {
+                let value = model.pocd(r).unwrap();
+                prop_assert!((0.0..=1.0).contains(&value));
+                prop_assert!(value + 1e-12 >= previous, "PoCD decreased in r");
+                previous = value;
+            }
+            let looser = job.with_deadline(job.deadline() * 1.5).unwrap();
+            let looser_model = PocdModel::new(looser, params).unwrap();
+            prop_assert!(looser_model.pocd(2).unwrap() + 1e-12 >= model.pocd(2).unwrap());
+        }
+    }
+
+    /// Theorem 7 parts 1 and 2: with identical r and timing, Clone and
+    /// S-Resume never do worse than S-Restart.
+    #[test]
+    fn theorem7_dominance((job, tau_est, tau_kill, phi) in job_and_timing()) {
+        let clone = PocdModel::new(job, StrategyParams::clone_strategy(tau_kill)).unwrap();
+        let restart =
+            PocdModel::new(job, StrategyParams::restart(tau_est, tau_kill).unwrap()).unwrap();
+        let resume =
+            PocdModel::new(job, StrategyParams::resume(tau_est, tau_kill, phi).unwrap()).unwrap();
+        for r in 1..6u32 {
+            prop_assert!(clone.pocd(r).unwrap() + 1e-12 >= restart.pocd(r).unwrap());
+            prop_assert!(resume.pocd(r).unwrap() + 1e-12 >= restart.pocd(r).unwrap());
+        }
+    }
+
+    /// The concavity threshold Γ marks exactly where the per-task failure
+    /// probability crosses 1/N (the condition behind Theorem 8).
+    #[test]
+    fn gamma_marks_failure_probability_crossing((job, tau_est, tau_kill, phi) in job_and_timing()) {
+        for params in all_strategies(tau_est, tau_kill, phi) {
+            let model = PocdModel::new(job, params).unwrap();
+            if let Some(gamma) = model.concavity_threshold() {
+                let n = f64::from(job.tasks());
+                let above = model.task_failure_probability_continuous(gamma.max(0.0) + 1e-6);
+                prop_assert!(above <= 1.0 / n + 1e-9);
+            }
+        }
+    }
+
+    /// Expected machine time is finite, positive, and Clone's is always the
+    /// largest at the same r ≥ 1 (it pays for clones on every task).
+    #[test]
+    fn cost_positivity_and_clone_premium((job, tau_est, tau_kill, phi) in job_and_timing()) {
+        let clone = CostModel::new(job, StrategyParams::clone_strategy(tau_kill)).unwrap();
+        let restart =
+            CostModel::new(job, StrategyParams::restart(tau_est, tau_kill).unwrap()).unwrap();
+        let resume =
+            CostModel::new(job, StrategyParams::resume(tau_est, tau_kill, phi).unwrap()).unwrap();
+        for r in 1..5u32 {
+            let rf = f64::from(r);
+            let c = clone.expected_job_machine_time(rf).unwrap();
+            let s = restart.expected_job_machine_time(rf).unwrap();
+            let re = resume.expected_job_machine_time(rf).unwrap();
+            prop_assert!(c.is_finite() && c > 0.0);
+            prop_assert!(s.is_finite() && s > 0.0);
+            prop_assert!(re.is_finite() && re > 0.0);
+            prop_assert!(c + 1e-9 >= s, "clone {c} should cost at least s-restart {s}");
+            prop_assert!(c + 1e-9 >= re, "clone {c} should cost at least s-resume {re}");
+        }
+    }
+
+    /// Theorem 9: the hybrid optimizer (Algorithm 1) returns the same
+    /// optimum as exhaustive search, for every strategy and a range of θ.
+    #[test]
+    fn algorithm1_is_globally_optimal(
+        (job, tau_est, tau_kill, phi) in job_and_timing(),
+        theta_exp in -6.0f64..-2.0,
+    ) {
+        let theta = 10f64.powf(theta_exp);
+        let optimizer = Optimizer::new(UtilityModel::new(theta, 0.0).unwrap());
+        for params in all_strategies(tau_est, tau_kill, phi) {
+            let hybrid = optimizer.optimize(&job, &params).unwrap();
+            let exhaustive = optimizer.optimize_exhaustive(&job, &params).unwrap();
+            // Ties on utility can legitimately resolve to different r.
+            prop_assert!(
+                (hybrid.utility - exhaustive.utility).abs() < 1e-9,
+                "{:?}: hybrid r={} u={} vs exhaustive r={} u={}",
+                params.kind(), hybrid.r, hybrid.utility, exhaustive.r, exhaustive.utility
+            );
+        }
+    }
+
+    /// Frontier sweeps are internally consistent with the underlying models.
+    #[test]
+    fn frontier_matches_models((job, tau_est, tau_kill, phi) in job_and_timing()) {
+        let params = StrategyParams::resume(tau_est, tau_kill, phi).unwrap();
+        let frontier = Frontier::sweep(&job, &params, 5).unwrap();
+        let pocd = PocdModel::new(job, params).unwrap();
+        let cost = CostModel::new(job, params).unwrap();
+        for point in frontier.iter() {
+            prop_assert!((point.pocd - pocd.pocd(point.r).unwrap()).abs() < 1e-12);
+            let expected = cost.expected_job_machine_time(f64::from(point.r)).unwrap();
+            prop_assert!((point.machine_time - expected).abs() < 1e-9);
+        }
+    }
+
+    /// Sampling respects the support and the empirical mean converges to the
+    /// analytical mean when it exists.
+    #[test]
+    fn sampling_matches_support(t_min in 1.0f64..40.0, beta in 1.2f64..3.0, seed in 0u64..1_000) {
+        use rand::SeedableRng;
+        let dist = Pareto::new(t_min, beta).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let samples = dist.sample_n(&mut rng, 2_000);
+        prop_assert!(samples.iter().all(|s| *s >= t_min));
+        let median_sample = {
+            let mut sorted = samples.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted[sorted.len() / 2]
+        };
+        // The sample median is a robust statistic even for heavy tails.
+        prop_assert!((median_sample - dist.median()).abs() / dist.median() < 0.2);
+    }
+}

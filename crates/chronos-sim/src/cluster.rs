@@ -1,0 +1,246 @@
+//! Cluster substrate: nodes, container slots and the ResourceManager.
+//!
+//! The simulator models the YARN ResourceManager as a pool of map-task
+//! containers spread over nodes. Attempts request a container; if none is
+//! free they wait in a FIFO queue (the single-queue FIFO scheduler the
+//! paper's experiments use). Nodes can carry a slowdown factor so the
+//! contention model in `chronos-trace` can make some machines persistently
+//! slow — one of the documented causes of stragglers.
+
+use crate::config::ClusterSpec;
+use crate::error::SimError;
+use crate::ids::{AttemptId, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A worker node with a fixed number of container slots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Node identifier.
+    pub id: NodeId,
+    /// Total container slots on the node.
+    pub slots: u32,
+    /// Slots currently occupied by running attempts.
+    pub busy: u32,
+    /// Execution slowdown factor (≥ 1) applied to attempts placed here.
+    pub slowdown: f64,
+}
+
+impl Node {
+    /// Free slots on this node.
+    #[must_use]
+    pub fn free_slots(&self) -> u32 {
+        self.slots.saturating_sub(self.busy)
+    }
+}
+
+/// The ResourceManager: tracks slot occupancy and the queue of attempts
+/// waiting for a container.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceManager {
+    nodes: Vec<Node>,
+    pending: VecDeque<AttemptId>,
+    total_slots: u64,
+}
+
+impl ResourceManager {
+    /// Builds the ResourceManager from a cluster specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the specification is invalid.
+    pub fn new(spec: &ClusterSpec) -> Result<Self, SimError> {
+        spec.validate()?;
+        let nodes = (0..spec.nodes)
+            .map(|i| Node {
+                id: NodeId::new(u64::from(i)),
+                slots: spec.slots_per_node,
+                busy: 0,
+                slowdown: spec.slowdown_of(i),
+            })
+            .collect();
+        Ok(ResourceManager {
+            nodes,
+            pending: VecDeque::new(),
+            total_slots: spec.total_slots(),
+        })
+    }
+
+    /// Total number of container slots in the cluster.
+    #[must_use]
+    pub fn total_slots(&self) -> u64 {
+        self.total_slots
+    }
+
+    /// Number of currently free container slots.
+    #[must_use]
+    pub fn free_slots(&self) -> u64 {
+        self.nodes.iter().map(|n| u64::from(n.free_slots())).sum()
+    }
+
+    /// Number of attempts waiting for a container.
+    #[must_use]
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The node table (read-only).
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The slowdown factor of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] for an unknown node id.
+    pub fn slowdown_of(&self, node: NodeId) -> Result<f64, SimError> {
+        self.nodes
+            .get(node.raw() as usize)
+            .map(|n| n.slowdown)
+            .ok_or_else(|| SimError::unknown(format!("{node}")))
+    }
+
+    /// Tries to grab a free slot, preferring the node with the most free
+    /// capacity (a simple load-balancing placement). Returns the chosen node
+    /// or `None` when the cluster is full.
+    pub fn try_assign(&mut self) -> Option<NodeId> {
+        let best = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.free_slots() > 0)
+            .max_by_key(|(_, n)| n.free_slots())
+            .map(|(i, _)| i)?;
+        self.nodes[best].busy += 1;
+        Some(self.nodes[best].id)
+    }
+
+    /// Releases a slot on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] for an unknown node, or
+    /// [`SimError::InvalidAction`] if the node has no busy slot to release
+    /// (which would indicate an engine accounting bug).
+    pub fn release(&mut self, node: NodeId) -> Result<(), SimError> {
+        let entry = self
+            .nodes
+            .get_mut(node.raw() as usize)
+            .ok_or_else(|| SimError::unknown(format!("{node}")))?;
+        if entry.busy == 0 {
+            return Err(SimError::invalid_action(format!(
+                "released a slot on {node} which had no busy slots"
+            )));
+        }
+        entry.busy -= 1;
+        Ok(())
+    }
+
+    /// Adds an attempt to the back of the container wait queue.
+    pub fn enqueue_pending(&mut self, attempt: AttemptId) {
+        self.pending.push_back(attempt);
+    }
+
+    /// Pops the next waiting attempt, if any.
+    pub fn dequeue_pending(&mut self) -> Option<AttemptId> {
+        self.pending.pop_front()
+    }
+
+    /// Removes a specific attempt from the wait queue (used when a queued
+    /// attempt is killed before it ever starts). Returns whether it was
+    /// present.
+    pub fn remove_pending(&mut self, attempt: AttemptId) -> bool {
+        if let Some(pos) = self.pending.iter().position(|a| *a == attempt) {
+            self.pending.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when at least one attempt is waiting for a container — the
+    /// condition Mantri checks before it keeps spawning extra attempts.
+    #[must_use]
+    pub fn has_waiting_work(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm(nodes: u32, slots: u32) -> ResourceManager {
+        ResourceManager::new(&ClusterSpec::homogeneous(nodes, slots)).unwrap()
+    }
+
+    #[test]
+    fn construction_matches_spec() {
+        let rm = rm(4, 2);
+        assert_eq!(rm.total_slots(), 8);
+        assert_eq!(rm.free_slots(), 8);
+        assert_eq!(rm.nodes().len(), 4);
+        assert!(!rm.has_waiting_work());
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        assert!(ResourceManager::new(&ClusterSpec::homogeneous(0, 2)).is_err());
+    }
+
+    #[test]
+    fn assign_until_full_then_none() {
+        let mut rm = rm(2, 2);
+        let mut assigned = Vec::new();
+        for _ in 0..4 {
+            assigned.push(rm.try_assign().expect("slot available"));
+        }
+        assert_eq!(rm.free_slots(), 0);
+        assert!(rm.try_assign().is_none());
+        // Load balancing: both nodes should have received two attempts.
+        let on_node0 = assigned.iter().filter(|n| n.raw() == 0).count();
+        assert_eq!(on_node0, 2);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut rm = rm(1, 1);
+        let node = rm.try_assign().unwrap();
+        assert!(rm.try_assign().is_none());
+        rm.release(node).unwrap();
+        assert!(rm.try_assign().is_some());
+    }
+
+    #[test]
+    fn release_errors() {
+        let mut rm = rm(1, 1);
+        assert!(rm.release(NodeId::new(9)).is_err());
+        assert!(rm.release(NodeId::new(0)).is_err());
+    }
+
+    #[test]
+    fn pending_queue_fifo_and_removal() {
+        let mut rm = rm(1, 1);
+        rm.enqueue_pending(AttemptId::new(1));
+        rm.enqueue_pending(AttemptId::new(2));
+        rm.enqueue_pending(AttemptId::new(3));
+        assert_eq!(rm.pending_len(), 3);
+        assert!(rm.has_waiting_work());
+        assert!(rm.remove_pending(AttemptId::new(2)));
+        assert!(!rm.remove_pending(AttemptId::new(2)));
+        assert_eq!(rm.dequeue_pending(), Some(AttemptId::new(1)));
+        assert_eq!(rm.dequeue_pending(), Some(AttemptId::new(3)));
+        assert_eq!(rm.dequeue_pending(), None);
+    }
+
+    #[test]
+    fn slowdowns_surface_through_rm() {
+        let mut spec = ClusterSpec::homogeneous(2, 1);
+        spec.slowdowns = vec![1.0, 4.0];
+        let rm = ResourceManager::new(&spec).unwrap();
+        assert_eq!(rm.slowdown_of(NodeId::new(1)).unwrap(), 4.0);
+        assert!(rm.slowdown_of(NodeId::new(5)).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Simulation configuration: cluster shape, JVM launch model, progress
+//! reporting cadence and which completion-time estimator the Application
+//! Master uses.
+
+use crate::error::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Shape of the simulated cluster.
+///
+/// The paper's testbed is 40 EC2 nodes with 8 vCPUs each; one map container
+/// per vCPU gives the default 40 × 8 layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of worker nodes.
+    pub nodes: u32,
+    /// Map-task containers (slots) per node.
+    pub slots_per_node: u32,
+    /// Per-node execution slowdown factors (≥ 1). Attempts placed on node
+    /// `i` have their processing time multiplied by `slowdowns[i]`. An empty
+    /// vector means every node runs at nominal speed, which is what the
+    /// closed-form validation experiments use. Populated by the contention
+    /// model in `chronos-trace` for the realistic runs.
+    pub slowdowns: Vec<f64>,
+}
+
+impl ClusterSpec {
+    /// A cluster of `nodes × slots_per_node` homogeneous containers.
+    #[must_use]
+    pub fn homogeneous(nodes: u32, slots_per_node: u32) -> Self {
+        ClusterSpec {
+            nodes,
+            slots_per_node,
+            slowdowns: Vec::new(),
+        }
+    }
+
+    /// Total container count.
+    #[must_use]
+    pub fn total_slots(&self) -> u64 {
+        u64::from(self.nodes) * u64::from(self.slots_per_node)
+    }
+
+    /// The slowdown factor of a node (1.0 when unspecified).
+    #[must_use]
+    pub fn slowdown_of(&self, node_index: u32) -> f64 {
+        self.slowdowns
+            .get(node_index as usize)
+            .copied()
+            .unwrap_or(1.0)
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the cluster has no containers
+    /// or any slowdown factor is below 1 or not finite.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.nodes == 0 || self.slots_per_node == 0 {
+            return Err(SimError::invalid_config(
+                "cluster must have at least one node and one slot per node",
+            ));
+        }
+        if self
+            .slowdowns
+            .iter()
+            .any(|s| !s.is_finite() || *s < 1.0)
+        {
+            return Err(SimError::invalid_config(
+                "node slowdown factors must be finite and >= 1",
+            ));
+        }
+        if !self.slowdowns.is_empty() && self.slowdowns.len() != self.nodes as usize {
+            return Err(SimError::invalid_config(
+                "slowdown vector length must match the node count (or be empty)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ClusterSpec {
+    /// The paper's 40-node × 8-slot testbed.
+    fn default() -> Self {
+        ClusterSpec::homogeneous(40, 8)
+    }
+}
+
+/// JVM (container) launch-time model.
+///
+/// The paper's improved completion-time estimator exists precisely because
+/// JVM startup is not negligible in contended clusters; the simulator models
+/// it as a uniform delay in `[min_secs, max_secs]` between container
+/// assignment and the first byte of useful work.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JvmModel {
+    /// Minimum launch delay in seconds.
+    pub min_secs: f64,
+    /// Maximum launch delay in seconds.
+    pub max_secs: f64,
+}
+
+impl JvmModel {
+    /// A fixed (deterministic) launch delay.
+    #[must_use]
+    pub fn fixed(secs: f64) -> Self {
+        JvmModel {
+            min_secs: secs,
+            max_secs: secs,
+        }
+    }
+
+    /// No launch delay at all; used when validating the closed forms, which
+    /// ignore JVM startup.
+    #[must_use]
+    pub fn disabled() -> Self {
+        JvmModel::fixed(0.0)
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for negative, non-finite or
+    /// reversed bounds.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(self.min_secs.is_finite() && self.max_secs.is_finite())
+            || self.min_secs < 0.0
+            || self.max_secs < self.min_secs
+        {
+            return Err(SimError::invalid_config(
+                "JVM launch delay bounds must be finite, non-negative and ordered",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for JvmModel {
+    /// A 1–3 second launch window, in line with the contended-testbed
+    /// observations that motivated Eq. 30.
+    fn default() -> Self {
+        JvmModel {
+            min_secs: 1.0,
+            max_secs: 3.0,
+        }
+    }
+}
+
+/// Which completion-time estimator the Application Master exposes to
+/// policies (Section VI.B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EstimatorKind {
+    /// Hadoop's default estimator: elapsed time divided by progress score,
+    /// which ignores JVM launch time and over-estimates badly early on.
+    HadoopDefault,
+    /// The Chronos estimator of Eq. 30, which separates launch overhead from
+    /// processing rate using the first progress report.
+    #[default]
+    ChronosJvmAware,
+}
+
+/// Top-level simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Cluster shape and per-node slowdowns.
+    pub cluster: ClusterSpec,
+    /// JVM launch delay model.
+    pub jvm: JvmModel,
+    /// Which estimator the AM uses when building policy views.
+    pub estimator: EstimatorKind,
+    /// Interval between task progress reports, seconds. The first report of
+    /// an attempt defines `t_FP` in Eq. 30.
+    pub progress_report_interval_secs: f64,
+    /// RNG seed; identical seeds give identical simulations.
+    pub seed: u64,
+    /// Safety valve: the simulation aborts after this many events, guarding
+    /// against runaway policies. `0` disables the limit.
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any component is invalid or the
+    /// progress-report interval is not positive.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.cluster.validate()?;
+        self.jvm.validate()?;
+        if !(self.progress_report_interval_secs.is_finite()
+            && self.progress_report_interval_secs > 0.0)
+        {
+            return Err(SimError::invalid_config(
+                "progress report interval must be a positive number of seconds",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Configuration used to validate the closed-form analysis: no JVM
+    /// delay, a cluster large enough that containers are never the
+    /// bottleneck, and the Chronos estimator.
+    #[must_use]
+    pub fn analysis_validation(seed: u64) -> Self {
+        SimConfig {
+            cluster: ClusterSpec::homogeneous(1_000, 8),
+            jvm: JvmModel::disabled(),
+            estimator: EstimatorKind::ChronosJvmAware,
+            progress_report_interval_secs: 1.0,
+            seed,
+            max_events: 0,
+        }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cluster: ClusterSpec::default(),
+            jvm: JvmModel::default(),
+            estimator: EstimatorKind::ChronosJvmAware,
+            progress_report_interval_secs: 3.0,
+            seed: 1,
+            max_events: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_testbed() {
+        let c = ClusterSpec::default();
+        assert_eq!(c.nodes, 40);
+        assert_eq!(c.slots_per_node, 8);
+        assert_eq!(c.total_slots(), 320);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn cluster_validation() {
+        assert!(ClusterSpec::homogeneous(0, 8).validate().is_err());
+        assert!(ClusterSpec::homogeneous(4, 0).validate().is_err());
+        let mut c = ClusterSpec::homogeneous(2, 2);
+        c.slowdowns = vec![1.0, 0.5];
+        assert!(c.validate().is_err());
+        c.slowdowns = vec![1.0];
+        assert!(c.validate().is_err());
+        c.slowdowns = vec![1.0, 2.0];
+        assert!(c.validate().is_ok());
+        assert_eq!(c.slowdown_of(1), 2.0);
+        assert_eq!(c.slowdown_of(7), 1.0);
+    }
+
+    #[test]
+    fn jvm_model_validation() {
+        assert!(JvmModel::default().validate().is_ok());
+        assert!(JvmModel::fixed(2.0).validate().is_ok());
+        assert!(JvmModel::disabled().validate().is_ok());
+        assert!(JvmModel {
+            min_secs: 3.0,
+            max_secs: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(JvmModel {
+            min_secs: -1.0,
+            max_secs: 1.0
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn sim_config_validation() {
+        assert!(SimConfig::default().validate().is_ok());
+        let mut cfg = SimConfig::default();
+        cfg.progress_report_interval_secs = 0.0;
+        assert!(cfg.validate().is_err());
+        let validation = SimConfig::analysis_validation(7);
+        assert!(validation.validate().is_ok());
+        assert_eq!(validation.jvm, JvmModel::disabled());
+        assert_eq!(validation.seed, 7);
+    }
+
+    #[test]
+    fn estimator_default_is_chronos() {
+        assert_eq!(EstimatorKind::default(), EstimatorKind::ChronosJvmAware);
+    }
+}

@@ -1,0 +1,832 @@
+//! The discrete-event simulation engine: the YARN ResourceManager /
+//! ApplicationMaster / NodeManager loop distilled to the decision points the
+//! Chronos strategies and baselines need.
+//!
+//! The engine owns jobs, tasks, attempts, containers and the event queue;
+//! the plugged-in [`SpeculationPolicy`] only ever sees immutable snapshots
+//! and replies with actions. A fixed RNG seed makes every run reproducible.
+
+use crate::attempt::{Attempt, AttemptState};
+use crate::cluster::ResourceManager;
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::event::{Event, EventQueue};
+use crate::ids::{AttemptId, IdAllocator, JobId, NodeId, TaskId};
+use crate::job::{JobRuntime, JobSpec, TaskRuntime};
+use crate::metrics::{JobMetrics, SimulationReport};
+use crate::policy::{
+    AttemptView, CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy, TaskView,
+};
+use crate::progress::{estimate_completion, estimate_resume_offset};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A complete simulation: configuration, cluster state, workload and policy.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_sim::prelude::*;
+///
+/// # fn main() -> Result<(), SimError> {
+/// let config = SimConfig::default();
+/// let mut sim = Simulation::new(config, Box::new(NoSpeculation))?;
+/// sim.submit(JobSpec::new(JobId::new(0), SimTime::ZERO, 200.0, 8))?;
+/// let report = sim.run()?;
+/// assert_eq!(report.job_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+    policy: Box<dyn SpeculationPolicy>,
+    rng: StdRng,
+    events: EventQueue,
+    jobs: BTreeMap<JobId, JobRuntime>,
+    tasks: BTreeMap<TaskId, TaskRuntime>,
+    attempts: BTreeMap<AttemptId, Attempt>,
+    schedules: BTreeMap<JobId, CheckSchedule>,
+    chosen_r: BTreeMap<JobId, u32>,
+    rm: ResourceManager,
+    task_ids: IdAllocator,
+    attempt_ids: IdAllocator,
+    now: SimTime,
+    events_processed: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation with the given configuration and policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the configuration fails
+    /// validation.
+    pub fn new(config: SimConfig, policy: Box<dyn SpeculationPolicy>) -> Result<Self, SimError> {
+        config.validate()?;
+        let rm = ResourceManager::new(&config.cluster)?;
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(Simulation {
+            config,
+            policy,
+            rng,
+            events: EventQueue::new(),
+            jobs: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            attempts: BTreeMap::new(),
+            schedules: BTreeMap::new(),
+            chosen_r: BTreeMap::new(),
+            rm,
+            task_ids: IdAllocator::new(),
+            attempt_ids: IdAllocator::new(),
+            now: SimTime::ZERO,
+            events_processed: 0,
+        })
+    }
+
+    /// The policy driving this simulation.
+    #[must_use]
+    pub fn policy_name(&self) -> String {
+        self.policy.name()
+    }
+
+    /// The current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queues a job for submission at its `submit_time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for invalid specs or duplicate
+    /// job ids.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<(), SimError> {
+        spec.validate()?;
+        if self.jobs.contains_key(&spec.id) {
+            return Err(SimError::invalid_config(format!(
+                "duplicate job id {}",
+                spec.id
+            )));
+        }
+        let id = spec.id;
+        let submit_time = spec.submit_time;
+        self.jobs.insert(id, JobRuntime::new(spec));
+        self.events.schedule(submit_time, Event::JobArrival(id));
+        Ok(())
+    }
+
+    /// Queues a batch of jobs.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first invalid or duplicate spec; earlier jobs in the
+    /// batch remain queued.
+    pub fn submit_all<I>(&mut self, specs: I) -> Result<(), SimError>
+    where
+        I: IntoIterator<Item = JobSpec>,
+    {
+        for spec in specs {
+            self.submit(spec)?;
+        }
+        Ok(())
+    }
+
+    /// Runs the simulation to completion and returns the aggregated report.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::EventBudgetExhausted`] when `max_events` is hit.
+    /// * [`SimError::InvalidAction`] / [`SimError::UnknownEntity`] when the
+    ///   policy produces actions referencing foreign or unknown entities.
+    pub fn run(&mut self) -> Result<SimulationReport, SimError> {
+        while let Some((time, event)) = self.events.pop() {
+            debug_assert!(time >= self.now, "event time went backwards");
+            self.now = time;
+            self.events_processed += 1;
+            if self.config.max_events > 0 && self.events_processed > self.config.max_events {
+                return Err(SimError::EventBudgetExhausted {
+                    limit: self.config.max_events,
+                });
+            }
+            match event {
+                Event::JobArrival(job) => self.handle_job_arrival(job)?,
+                Event::AttemptCompletion(attempt) => self.handle_attempt_completion(attempt)?,
+                Event::PolicyCheck { job, index } => self.handle_policy_check(job, index)?,
+            }
+        }
+        Ok(self.build_report())
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn handle_job_arrival(&mut self, job_id: JobId) -> Result<(), SimError> {
+        let (submit_view, task_specs, submit_time) = {
+            let job = self
+                .jobs
+                .get(&job_id)
+                .ok_or_else(|| SimError::unknown(format!("{job_id}")))?;
+            (
+                JobSubmitView {
+                    job: job_id,
+                    task_count: job.spec.task_count() as u32,
+                    deadline_secs: job.spec.deadline_secs,
+                    price: job.spec.price,
+                    profile: job.spec.profile,
+                },
+                job.spec.tasks.clone(),
+                job.spec.submit_time,
+            )
+        };
+
+        let decision = self.policy.on_job_submit(&submit_view);
+        if let Some(r) = decision.reported_r {
+            self.chosen_r.insert(job_id, r);
+        }
+
+        let schedule = self.policy.check_schedule(&submit_view);
+        match &schedule {
+            CheckSchedule::Never => {}
+            CheckSchedule::AtOffsets(offsets) => {
+                for (index, offset) in offsets.iter().enumerate() {
+                    self.events.schedule(
+                        submit_time + SimDuration::from_secs(*offset),
+                        Event::PolicyCheck {
+                            job: job_id,
+                            index: index as u32,
+                        },
+                    );
+                }
+            }
+            CheckSchedule::Periodic { first, .. } => {
+                self.events.schedule(
+                    submit_time + SimDuration::from_secs(*first),
+                    Event::PolicyCheck {
+                        job: job_id,
+                        index: 0,
+                    },
+                );
+            }
+        }
+        self.schedules.insert(job_id, schedule);
+
+        // Create tasks and their initial attempts (1 original + clones).
+        for (index, spec) in task_specs.iter().enumerate() {
+            let task_id = TaskId::new(self.task_ids.next_raw());
+            let task = TaskRuntime::new(task_id, job_id, index, spec);
+            self.tasks.insert(task_id, task);
+            self.jobs
+                .get_mut(&job_id)
+                .expect("job exists")
+                .task_ids
+                .push(task_id);
+            for _ in 0..=decision.extra_clones_per_task {
+                self.create_attempt(task_id, 0.0)?;
+            }
+        }
+        self.dispatch_pending();
+        Ok(())
+    }
+
+    fn handle_attempt_completion(&mut self, attempt_id: AttemptId) -> Result<(), SimError> {
+        let (task_id, node) = {
+            let Some(attempt) = self.attempts.get_mut(&attempt_id) else {
+                return Ok(());
+            };
+            if attempt.state != AttemptState::Running {
+                // Stale event: the attempt was killed in the meantime.
+                return Ok(());
+            }
+            attempt.state = AttemptState::Finished;
+            attempt.ended_at = Some(self.now);
+            (attempt.task, attempt.node)
+        };
+        if let Some(node) = node {
+            self.rm.release(node)?;
+        }
+
+        let newly_completed = {
+            let task = self
+                .tasks
+                .get_mut(&task_id)
+                .ok_or_else(|| SimError::unknown(format!("{task_id}")))?;
+            if task.completed_at.is_none() {
+                task.completed_at = Some(self.now);
+                true
+            } else {
+                false
+            }
+        };
+
+        if newly_completed {
+            // The AM kills the remaining attempts of a committed task.
+            let siblings: Vec<AttemptId> = self
+                .tasks
+                .get(&task_id)
+                .map(|t| t.attempts.clone())
+                .unwrap_or_default();
+            for sibling in siblings {
+                if sibling != attempt_id {
+                    self.kill_attempt(sibling)?;
+                }
+            }
+            let job_id = self.tasks[&task_id].job;
+            if let Some(job) = self.jobs.get_mut(&job_id) {
+                job.record_task_completion(self.now);
+            }
+        }
+        self.dispatch_pending();
+        Ok(())
+    }
+
+    fn handle_policy_check(&mut self, job_id: JobId, index: u32) -> Result<(), SimError> {
+        let completed = self
+            .jobs
+            .get(&job_id)
+            .map(JobRuntime::is_completed)
+            .unwrap_or(true);
+        if !completed {
+            let view = self.build_job_view(job_id, index)?;
+            let actions = self.policy.on_check(&view);
+            for action in actions {
+                self.apply_action(job_id, action)?;
+            }
+            self.dispatch_pending();
+        }
+
+        // Periodic schedules re-arm while the job is incomplete.
+        if let Some(CheckSchedule::Periodic { period, .. }) = self.schedules.get(&job_id) {
+            let period = *period;
+            let still_running = self
+                .jobs
+                .get(&job_id)
+                .map(|j| !j.is_completed())
+                .unwrap_or(false);
+            if still_running {
+                self.events.schedule(
+                    self.now + SimDuration::from_secs(period),
+                    Event::PolicyCheck {
+                        job: job_id,
+                        index: index + 1,
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Policy action application
+    // ------------------------------------------------------------------
+
+    fn apply_action(&mut self, job_id: JobId, action: PolicyAction) -> Result<(), SimError> {
+        match action {
+            PolicyAction::LaunchExtra {
+                task,
+                count,
+                start_fraction,
+            } => {
+                let owner = self
+                    .tasks
+                    .get(&task)
+                    .ok_or_else(|| SimError::unknown(format!("{task}")))?;
+                if owner.job != job_id {
+                    return Err(SimError::invalid_action(format!(
+                        "policy for {job_id} tried to launch attempts for {task} owned by {}",
+                        owner.job
+                    )));
+                }
+                if owner.is_completed() {
+                    // Benign: the task finished between snapshot and action.
+                    return Ok(());
+                }
+                for _ in 0..count {
+                    self.create_attempt(task, start_fraction)?;
+                }
+                Ok(())
+            }
+            PolicyAction::Kill { attempt } => {
+                let owner = self
+                    .attempts
+                    .get(&attempt)
+                    .ok_or_else(|| SimError::unknown(format!("{attempt}")))?
+                    .job;
+                if owner != job_id {
+                    return Err(SimError::invalid_action(format!(
+                        "policy for {job_id} tried to kill {attempt} owned by {owner}"
+                    )));
+                }
+                self.kill_attempt(attempt)
+            }
+            PolicyAction::KillAllExcept { task, keep } => {
+                let owner = self
+                    .tasks
+                    .get(&task)
+                    .ok_or_else(|| SimError::unknown(format!("{task}")))?;
+                if owner.job != job_id {
+                    return Err(SimError::invalid_action(format!(
+                        "policy for {job_id} tried to prune {task} owned by {}",
+                        owner.job
+                    )));
+                }
+                let attempts = owner.attempts.clone();
+                for attempt in attempts {
+                    if attempt != keep {
+                        self.kill_attempt(attempt)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Attempt lifecycle
+    // ------------------------------------------------------------------
+
+    fn create_attempt(&mut self, task_id: TaskId, start_fraction: f64) -> Result<AttemptId, SimError> {
+        let job_id = self
+            .tasks
+            .get(&task_id)
+            .ok_or_else(|| SimError::unknown(format!("{task_id}")))?
+            .job;
+        let attempt_id = AttemptId::new(self.attempt_ids.next_raw());
+        let attempt = Attempt::pending(attempt_id, task_id, job_id, self.now, start_fraction);
+        self.attempts.insert(attempt_id, attempt);
+        self.tasks
+            .get_mut(&task_id)
+            .expect("task exists")
+            .attempts
+            .push(attempt_id);
+        self.rm.enqueue_pending(attempt_id);
+        Ok(attempt_id)
+    }
+
+    /// Starts as many pending attempts as there are free containers.
+    fn dispatch_pending(&mut self) {
+        loop {
+            if self.rm.free_slots() == 0 {
+                return;
+            }
+            let Some(attempt_id) = self.rm.dequeue_pending() else {
+                return;
+            };
+            let still_pending = self
+                .attempts
+                .get(&attempt_id)
+                .map(|a| a.state == AttemptState::Pending)
+                .unwrap_or(false);
+            if !still_pending {
+                continue;
+            }
+            let Some(node) = self.rm.try_assign() else {
+                // No slot after all; put it back at the front-equivalent
+                // position by re-enqueueing and bail out.
+                self.rm.enqueue_pending(attempt_id);
+                return;
+            };
+            self.start_attempt(attempt_id, node);
+        }
+    }
+
+    fn start_attempt(&mut self, attempt_id: AttemptId, node: NodeId) {
+        let jvm = if self.config.jvm.max_secs > self.config.jvm.min_secs {
+            self.rng
+                .gen_range(self.config.jvm.min_secs..=self.config.jvm.max_secs)
+        } else {
+            self.config.jvm.min_secs
+        };
+        let slowdown = self.rm.slowdown_of(node).unwrap_or(1.0);
+        let (profile, size_factor) = {
+            let attempt = &self.attempts[&attempt_id];
+            let task = &self.tasks[&attempt.task];
+            let job = &self.jobs[&attempt.job];
+            (job.spec.profile, task.size_factor)
+        };
+        let work = profile.sample(&mut self.rng) * size_factor * slowdown;
+        let attempt = self.attempts.get_mut(&attempt_id).expect("attempt exists");
+        attempt.start(node, self.now, jvm, work);
+        let completion = attempt
+            .completion_time()
+            .expect("started attempts have a completion time");
+        self.events
+            .schedule(completion, Event::AttemptCompletion(attempt_id));
+    }
+
+    fn kill_attempt(&mut self, attempt_id: AttemptId) -> Result<(), SimError> {
+        let (state, node) = {
+            let Some(attempt) = self.attempts.get(&attempt_id) else {
+                return Err(SimError::unknown(format!("{attempt_id}")));
+            };
+            (attempt.state, attempt.node)
+        };
+        match state {
+            AttemptState::Finished | AttemptState::Killed => Ok(()),
+            AttemptState::Pending => {
+                self.rm.remove_pending(attempt_id);
+                let attempt = self.attempts.get_mut(&attempt_id).expect("attempt exists");
+                attempt.state = AttemptState::Killed;
+                attempt.ended_at = Some(self.now);
+                Ok(())
+            }
+            AttemptState::Running => {
+                let attempt = self.attempts.get_mut(&attempt_id).expect("attempt exists");
+                attempt.state = AttemptState::Killed;
+                attempt.ended_at = Some(self.now);
+                if let Some(node) = node {
+                    self.rm.release(node)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Views and reporting
+    // ------------------------------------------------------------------
+
+    fn build_job_view(&self, job_id: JobId, check_index: u32) -> Result<JobView, SimError> {
+        let job = self
+            .jobs
+            .get(&job_id)
+            .ok_or_else(|| SimError::unknown(format!("{job_id}")))?;
+        let mut tasks = Vec::with_capacity(job.task_ids.len());
+        let mut completed_tasks = 0usize;
+        let mut completed_durations = Vec::new();
+        for task_id in &job.task_ids {
+            let task = &self.tasks[task_id];
+            if let Some(done) = task.completed_at {
+                completed_tasks += 1;
+                completed_durations.push((done.saturating_since(job.spec.submit_time)).as_secs());
+            }
+            let attempts = task
+                .attempts
+                .iter()
+                .map(|attempt_id| {
+                    let attempt = &self.attempts[attempt_id];
+                    AttemptView {
+                        attempt: *attempt_id,
+                        active: attempt.is_active(),
+                        running: attempt.is_running(),
+                        launched_at: attempt.launched_at,
+                        progress: attempt.progress_at(self.now),
+                        estimated_completion: estimate_completion(
+                            self.config.estimator,
+                            attempt,
+                            self.now,
+                            self.config.progress_report_interval_secs,
+                        ),
+                        start_fraction: attempt.start_fraction,
+                        resume_offset_hint: estimate_resume_offset(
+                            attempt,
+                            self.now,
+                            self.config.progress_report_interval_secs,
+                        ),
+                    }
+                })
+                .collect();
+            tasks.push(TaskView {
+                task: *task_id,
+                completed: task.is_completed(),
+                attempts,
+            });
+        }
+        let mean_completed_task_duration = if completed_durations.is_empty() {
+            None
+        } else {
+            Some(completed_durations.iter().sum::<f64>() / completed_durations.len() as f64)
+        };
+        Ok(JobView {
+            job: job_id,
+            submitted_at: job.spec.submit_time,
+            deadline_secs: job.spec.deadline_secs,
+            now: self.now,
+            check_index,
+            tasks,
+            completed_tasks,
+            mean_completed_task_duration,
+            free_slots: self.rm.free_slots(),
+            cluster_has_waiting_work: self.rm.has_waiting_work(),
+        })
+    }
+
+    fn build_report(&self) -> SimulationReport {
+        let mut jobs = BTreeMap::new();
+        for (job_id, job) in &self.jobs {
+            let mut machine_time = 0.0;
+            let mut launched = 0u32;
+            let mut killed = 0u32;
+            for task_id in &job.task_ids {
+                for attempt_id in &self.tasks[task_id].attempts {
+                    let attempt = &self.attempts[attempt_id];
+                    machine_time += attempt.machine_time_until(self.now);
+                    if attempt.launched_at.is_some() {
+                        launched += 1;
+                    }
+                    if attempt.state == AttemptState::Killed {
+                        killed += 1;
+                    }
+                }
+            }
+            let met_deadline = job.met_deadline().unwrap_or(false);
+            jobs.insert(
+                *job_id,
+                JobMetrics {
+                    job: *job_id,
+                    submitted_at: job.spec.submit_time,
+                    deadline_secs: job.spec.deadline_secs,
+                    completed_at: job.completed_at,
+                    met_deadline,
+                    machine_time_secs: machine_time,
+                    cost: machine_time * job.spec.price,
+                    attempts_launched: launched,
+                    attempts_killed: killed,
+                    chosen_r: self.chosen_r.get(job_id).copied(),
+                },
+            );
+        }
+        SimulationReport {
+            policy: self.policy.name(),
+            jobs,
+            events_processed: self.events_processed,
+            ended_at: self.now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ClusterSpec, EstimatorKind, JvmModel};
+    use crate::policy::{NoSpeculation, SubmitDecision};
+    use chronos_core::Pareto;
+
+    fn small_config(seed: u64) -> SimConfig {
+        SimConfig {
+            cluster: ClusterSpec::homogeneous(4, 2),
+            jvm: JvmModel::disabled(),
+            estimator: EstimatorKind::ChronosJvmAware,
+            progress_report_interval_secs: 1.0,
+            seed,
+            max_events: 0,
+        }
+    }
+
+    fn job(id: u64, submit: f64, deadline: f64, tasks: usize) -> JobSpec {
+        JobSpec::new(JobId::new(id), SimTime::from_secs(submit), deadline, tasks)
+            .with_profile(Pareto::new(10.0, 1.5).unwrap())
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut sim = Simulation::new(small_config(3), Box::new(NoSpeculation)).unwrap();
+        sim.submit(job(0, 0.0, 500.0, 4)).unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.job_count(), 1);
+        let metrics = report.jobs.values().next().unwrap();
+        assert!(metrics.completed_at.is_some());
+        assert_eq!(metrics.attempts_launched, 4);
+        assert_eq!(metrics.attempts_killed, 0);
+        assert!(metrics.machine_time_secs >= 4.0 * 10.0);
+        assert!(report.unfinished_fraction() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_job_ids_rejected() {
+        let mut sim = Simulation::new(small_config(3), Box::new(NoSpeculation)).unwrap();
+        sim.submit(job(0, 0.0, 100.0, 1)).unwrap();
+        assert!(sim.submit(job(0, 5.0, 100.0, 1)).is_err());
+    }
+
+    #[test]
+    fn invalid_spec_rejected_on_submit() {
+        let mut sim = Simulation::new(small_config(3), Box::new(NoSpeculation)).unwrap();
+        assert!(sim.submit(job(0, 0.0, 100.0, 0)).is_err());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = |seed| {
+            let mut sim = Simulation::new(small_config(seed), Box::new(NoSpeculation)).unwrap();
+            sim.submit_all((0..5).map(|i| job(i, f64::from(i as u32) * 3.0, 400.0, 3)))
+                .unwrap();
+            sim.run().unwrap()
+        };
+        let a = run(11);
+        let b = run(11);
+        let c = run(12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn container_contention_serializes_attempts() {
+        // 1 node × 1 slot and a 3-task job: tasks must run one after another,
+        // so the completion time is at least the sum of the two fastest
+        // durations plus the third.
+        let mut config = small_config(5);
+        config.cluster = ClusterSpec::homogeneous(1, 1);
+        let mut sim = Simulation::new(config, Box::new(NoSpeculation)).unwrap();
+        sim.submit(job(0, 0.0, 10_000.0, 3)).unwrap();
+        let report = sim.run().unwrap();
+        let metrics = report.jobs.values().next().unwrap();
+        // With a single slot the job's turnaround equals its machine time.
+        assert!(
+            (metrics.completion_secs().unwrap() - metrics.machine_time_secs).abs() < 1e-6,
+            "turnaround {} vs machine {}",
+            metrics.completion_secs().unwrap(),
+            metrics.machine_time_secs
+        );
+    }
+
+    #[test]
+    fn event_budget_enforced() {
+        let mut config = small_config(5);
+        config.max_events = 2;
+        let mut sim = Simulation::new(config, Box::new(NoSpeculation)).unwrap();
+        sim.submit(job(0, 0.0, 100.0, 8)).unwrap();
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::EventBudgetExhausted { limit: 2 })
+        ));
+    }
+
+    /// A test policy that clones every task once and prunes to the best
+    /// progress attempt at a fixed offset.
+    #[derive(Debug)]
+    struct CloneOnce {
+        kill_offset: f64,
+    }
+
+    impl SpeculationPolicy for CloneOnce {
+        fn name(&self) -> String {
+            "clone-once".to_string()
+        }
+
+        fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
+            SubmitDecision {
+                extra_clones_per_task: 1,
+                reported_r: Some(1),
+            }
+        }
+
+        fn check_schedule(&self, _job: &JobSubmitView) -> CheckSchedule {
+            CheckSchedule::AtOffsets(vec![self.kill_offset])
+        }
+
+        fn on_check(&mut self, view: &JobView) -> Vec<PolicyAction> {
+            let mut actions = Vec::new();
+            for task in view.incomplete_tasks() {
+                if let Some(best) = task.best_progress_attempt() {
+                    actions.push(PolicyAction::KillAllExcept {
+                        task: task.task,
+                        keep: best.attempt,
+                    });
+                }
+            }
+            actions
+        }
+    }
+
+    #[test]
+    fn cloning_policy_launches_and_prunes() {
+        let mut sim = Simulation::new(small_config(7), Box::new(CloneOnce { kill_offset: 5.0 }))
+            .unwrap();
+        sim.submit(job(0, 0.0, 1_000.0, 3)).unwrap();
+        let report = sim.run().unwrap();
+        let metrics = report.jobs.values().next().unwrap();
+        // 3 tasks × 2 attempts launched.
+        assert_eq!(metrics.attempts_launched, 6);
+        // Every task had one attempt killed (either pruned at 5 s or killed
+        // when the sibling finished first).
+        assert_eq!(metrics.attempts_killed, 3);
+        assert_eq!(metrics.chosen_r, Some(1));
+        assert_eq!(report.chosen_r_histogram().get(&1), Some(&1));
+    }
+
+    #[test]
+    fn clone_reduces_completion_time_versus_baseline() {
+        // Cloning takes the min of two Pareto draws per task, so across many
+        // jobs the mean completion time must drop.
+        let submit_jobs = |sim: &mut Simulation| {
+            sim.submit_all((0..40).map(|i| {
+                JobSpec::new(
+                    JobId::new(i),
+                    SimTime::from_secs(f64::from(i as u32) * 200.0),
+                    10_000.0,
+                    4,
+                )
+                .with_profile(Pareto::new(10.0, 1.2).unwrap())
+            }))
+            .unwrap();
+        };
+        let mut baseline = Simulation::new(small_config(21), Box::new(NoSpeculation)).unwrap();
+        submit_jobs(&mut baseline);
+        let baseline_report = baseline.run().unwrap();
+
+        let mut cloned =
+            Simulation::new(small_config(21), Box::new(CloneOnce { kill_offset: 2.0 })).unwrap();
+        submit_jobs(&mut cloned);
+        let cloned_report = cloned.run().unwrap();
+
+        assert!(
+            cloned_report.mean_completion_secs().unwrap()
+                < baseline_report.mean_completion_secs().unwrap()
+        );
+    }
+
+    /// Policy that misbehaves by targeting a foreign job's task.
+    #[derive(Debug)]
+    struct Misbehaving;
+
+    impl SpeculationPolicy for Misbehaving {
+        fn name(&self) -> String {
+            "misbehaving".to_string()
+        }
+
+        fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
+            SubmitDecision::default()
+        }
+
+        fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule {
+            if job.job == JobId::new(1) {
+                CheckSchedule::AtOffsets(vec![1.0])
+            } else {
+                CheckSchedule::Never
+            }
+        }
+
+        fn on_check(&mut self, _view: &JobView) -> Vec<PolicyAction> {
+            // Task 0 belongs to job 0, not job 1.
+            vec![PolicyAction::LaunchExtra {
+                task: TaskId::new(0),
+                count: 1,
+                start_fraction: 0.0,
+            }]
+        }
+    }
+
+    #[test]
+    fn cross_job_actions_are_rejected() {
+        let mut sim = Simulation::new(small_config(9), Box::new(Misbehaving)).unwrap();
+        sim.submit(job(0, 0.0, 2_000.0, 1)).unwrap();
+        sim.submit(job(1, 0.0, 2_000.0, 1)).unwrap();
+        let err = sim.run().unwrap_err();
+        assert!(matches!(err, SimError::InvalidAction { .. }));
+    }
+
+    #[test]
+    fn policy_name_surfaces_in_report() {
+        let mut sim = Simulation::new(small_config(3), Box::new(NoSpeculation)).unwrap();
+        sim.submit(job(0, 0.0, 100.0, 1)).unwrap();
+        assert_eq!(sim.policy_name(), "hadoop-ns");
+        let report = sim.run().unwrap();
+        assert_eq!(report.policy, "hadoop-ns");
+        assert!(report.events_processed > 0);
+    }
+}

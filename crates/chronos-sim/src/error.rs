@@ -1,0 +1,115 @@
+//! Error type of the simulator crate.
+
+use std::fmt;
+
+/// Errors raised while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is out of its domain.
+    InvalidConfig {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The workload refers to an unknown entity (job, task, attempt, node).
+    UnknownEntity {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A policy produced an action that cannot be applied (e.g. killing an
+    /// attempt of another job or launching attempts for a finished task).
+    InvalidAction {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The event budget configured in `SimConfig::max_events` was exhausted.
+    EventBudgetExhausted {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// An error bubbled up from the analytical crate (e.g. while a policy
+    /// runs the optimizer at job submission).
+    Core(chronos_core::ChronosError),
+}
+
+impl SimError {
+    /// Convenience constructor for [`SimError::InvalidConfig`].
+    pub fn invalid_config(detail: impl Into<String>) -> Self {
+        SimError::InvalidConfig {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SimError::UnknownEntity`].
+    pub fn unknown(detail: impl Into<String>) -> Self {
+        SimError::UnknownEntity {
+            detail: detail.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SimError::InvalidAction`].
+    pub fn invalid_action(detail: impl Into<String>) -> Self {
+        SimError::InvalidAction {
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { detail } => write!(f, "invalid configuration: {detail}"),
+            SimError::UnknownEntity { detail } => write!(f, "unknown entity: {detail}"),
+            SimError::InvalidAction { detail } => write!(f, "invalid policy action: {detail}"),
+            SimError::EventBudgetExhausted { limit } => {
+                write!(f, "event budget of {limit} events exhausted")
+            }
+            SimError::Core(err) => write!(f, "analysis error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<chronos_core::ChronosError> for SimError {
+    fn from(err: chronos_core::ChronosError) -> Self {
+        SimError::Core(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SimError::invalid_config("x").to_string().contains("x"));
+        assert!(SimError::unknown("job-9").to_string().contains("job-9"));
+        assert!(SimError::invalid_action("kill").to_string().contains("kill"));
+        assert!(SimError::EventBudgetExhausted { limit: 5 }
+            .to_string()
+            .contains('5'));
+    }
+
+    #[test]
+    fn wraps_core_errors() {
+        let core = chronos_core::ChronosError::invalid("beta", 0.0, "positive");
+        let err: SimError = core.clone().into();
+        assert!(err.to_string().contains("beta"));
+        assert!(std::error::Error::source(&err).is_some());
+        assert_eq!(err, SimError::Core(core));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

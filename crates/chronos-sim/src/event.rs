@@ -1,0 +1,159 @@
+//! The discrete-event queue driving the simulation.
+//!
+//! Events are ordered by `(time, sequence number)`: the sequence number is a
+//! monotonically increasing tiebreaker so that same-timestamp events are
+//! processed in insertion order, keeping runs deterministic.
+
+use crate::ids::{AttemptId, JobId};
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Event {
+    /// A job arrives and is submitted to the cluster.
+    JobArrival(JobId),
+    /// A running attempt reaches its completion time.
+    ///
+    /// Carries the completion timestamp that was valid when the event was
+    /// scheduled; if the attempt was killed or rescheduled in the meantime
+    /// the stale event is ignored (lazy deletion).
+    AttemptCompletion(AttemptId),
+    /// A policy check point (straggler estimation, pruning, periodic
+    /// speculation scan) for the given job. `index` counts the job's checks.
+    PolicyCheck {
+        /// Job being checked.
+        job: JobId,
+        /// Ordinal of the check for that job (0-based).
+        index: u32,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct ScheduledEvent {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first ordering.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Priority queue of pending events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The timestamp of the next event without removing it.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5.0), Event::JobArrival(JobId::new(1)));
+        q.schedule(SimTime::from_secs(1.0), Event::JobArrival(JobId::new(2)));
+        q.schedule(SimTime::from_secs(3.0), Event::JobArrival(JobId::new(3)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::JobArrival(j) => j.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2.0);
+        for i in 0..10 {
+            q.schedule(t, Event::AttemptCompletion(AttemptId::new(i)));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::AttemptCompletion(a) => a.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_peek() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(
+            SimTime::from_secs(4.0),
+            Event::PolicyCheck {
+                job: JobId::new(0),
+                index: 0,
+            },
+        );
+        q.schedule(SimTime::from_secs(2.0), Event::JobArrival(JobId::new(0)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2.0)));
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! Job and task specifications plus their runtime bookkeeping.
+//!
+//! A [`JobSpec`] is what a workload generator (or the trace replayer in
+//! `chronos-trace`) hands to the simulator: arrival time, deadline, price,
+//! the believed task-time distribution (used by policies that run the
+//! Chronos optimizer at submission), and one [`TaskSpec`] per map task.
+//! [`JobRuntime`] / [`TaskRuntime`] are the engine's mutable views of the
+//! same entities while the simulation runs.
+
+use crate::error::SimError;
+use crate::ids::{AttemptId, JobId, TaskId};
+use crate::time::SimTime;
+use chronos_core::Pareto;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a single map task.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Relative size of this task's input split; the attempt execution time
+    /// drawn from the job's distribution is multiplied by this factor.
+    /// `1.0` means a nominal split (the paper's workloads use uniform
+    /// splits; skewed workloads use factors above/below 1).
+    pub size_factor: f64,
+}
+
+impl TaskSpec {
+    /// A nominal-size task.
+    #[must_use]
+    pub fn nominal() -> Self {
+        TaskSpec { size_factor: 1.0 }
+    }
+
+    /// A task whose split is `factor` times the nominal size.
+    #[must_use]
+    pub fn sized(factor: f64) -> Self {
+        TaskSpec {
+            size_factor: factor,
+        }
+    }
+}
+
+impl Default for TaskSpec {
+    fn default() -> Self {
+        TaskSpec::nominal()
+    }
+}
+
+/// Static description of a job submitted to the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Caller-assigned job identifier (must be unique within a simulation).
+    pub id: JobId,
+    /// Absolute submission time.
+    pub submit_time: SimTime,
+    /// Deadline in seconds, relative to the submission time.
+    pub deadline_secs: f64,
+    /// Per-unit-time VM price charged for this job's attempts.
+    pub price: f64,
+    /// The task-time distribution the Application Master believes (and hands
+    /// to the optimizer). The engine also uses it to draw actual execution
+    /// times unless a per-run override is installed.
+    pub profile: Pareto,
+    /// The map tasks of the job.
+    pub tasks: Vec<TaskSpec>,
+}
+
+impl JobSpec {
+    /// Creates a job of `task_count` nominal tasks.
+    #[must_use]
+    pub fn new(id: JobId, submit_time: SimTime, deadline_secs: f64, task_count: usize) -> Self {
+        JobSpec {
+            id,
+            submit_time,
+            deadline_secs,
+            price: 1.0,
+            profile: Pareto::default(),
+            tasks: vec![TaskSpec::nominal(); task_count],
+        }
+    }
+
+    /// Sets the believed/actual task-time distribution.
+    #[must_use]
+    pub fn with_profile(mut self, profile: Pareto) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Sets the per-unit-time VM price.
+    #[must_use]
+    pub fn with_price(mut self, price: f64) -> Self {
+        self.price = price;
+        self
+    }
+
+    /// Replaces the task list.
+    #[must_use]
+    pub fn with_tasks(mut self, tasks: Vec<TaskSpec>) -> Self {
+        self.tasks = tasks;
+        self
+    }
+
+    /// Number of tasks in the job.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Absolute deadline instant.
+    #[must_use]
+    pub fn absolute_deadline(&self) -> SimTime {
+        self.submit_time + crate::time::SimDuration::from_secs(self.deadline_secs)
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for empty jobs, non-positive
+    /// deadlines or prices, or non-positive task size factors.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.tasks.is_empty() {
+            return Err(SimError::invalid_config(format!(
+                "{} has no tasks",
+                self.id
+            )));
+        }
+        if !(self.deadline_secs.is_finite() && self.deadline_secs > 0.0) {
+            return Err(SimError::invalid_config(format!(
+                "{} has an invalid deadline {}",
+                self.id, self.deadline_secs
+            )));
+        }
+        if !(self.price.is_finite() && self.price >= 0.0) {
+            return Err(SimError::invalid_config(format!(
+                "{} has an invalid price {}",
+                self.id, self.price
+            )));
+        }
+        if self
+            .tasks
+            .iter()
+            .any(|t| !t.size_factor.is_finite() || t.size_factor <= 0.0)
+        {
+            return Err(SimError::invalid_config(format!(
+                "{} has a task with a non-positive size factor",
+                self.id
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Mutable runtime record of a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRuntime {
+    /// Globally unique task id.
+    pub id: TaskId,
+    /// Owning job.
+    pub job: JobId,
+    /// Index of the task within its job (0-based).
+    pub index_in_job: usize,
+    /// Relative split size.
+    pub size_factor: f64,
+    /// When the task's first successful attempt finished, if any.
+    pub completed_at: Option<SimTime>,
+    /// All attempts ever created for this task, in creation order.
+    pub attempts: Vec<AttemptId>,
+}
+
+impl TaskRuntime {
+    /// Creates the runtime record for a task.
+    #[must_use]
+    pub fn new(id: TaskId, job: JobId, index_in_job: usize, spec: &TaskSpec) -> Self {
+        TaskRuntime {
+            id,
+            job,
+            index_in_job,
+            size_factor: spec.size_factor,
+            completed_at: None,
+            attempts: Vec::new(),
+        }
+    }
+
+    /// True once some attempt has completed the task.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        self.completed_at.is_some()
+    }
+}
+
+/// Mutable runtime record of a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRuntime {
+    /// The static specification.
+    pub spec: JobSpec,
+    /// The tasks created for the job, in `index_in_job` order.
+    pub task_ids: Vec<TaskId>,
+    /// Number of tasks not yet completed.
+    pub tasks_remaining: usize,
+    /// When the last task completed, if the job is done.
+    pub completed_at: Option<SimTime>,
+}
+
+impl JobRuntime {
+    /// Creates the runtime record for a submitted job.
+    #[must_use]
+    pub fn new(spec: JobSpec) -> Self {
+        let tasks_remaining = spec.task_count();
+        JobRuntime {
+            spec,
+            task_ids: Vec::new(),
+            tasks_remaining,
+            completed_at: None,
+        }
+    }
+
+    /// True once all tasks have completed.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        self.completed_at.is_some()
+    }
+
+    /// Whether the job met its deadline (only meaningful once completed).
+    #[must_use]
+    pub fn met_deadline(&self) -> Option<bool> {
+        self.completed_at
+            .map(|done| done <= self.spec.absolute_deadline())
+    }
+
+    /// Records a task completion, marking the job complete when it was the
+    /// last outstanding task.
+    pub fn record_task_completion(&mut self, at: SimTime) {
+        debug_assert!(self.tasks_remaining > 0, "more completions than tasks");
+        self.tasks_remaining = self.tasks_remaining.saturating_sub(1);
+        if self.tasks_remaining == 0 && self.completed_at.is_none() {
+            self.completed_at = Some(at);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn spec() -> JobSpec {
+        JobSpec::new(JobId::new(1), SimTime::from_secs(10.0), 100.0, 4)
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let profile = Pareto::new(5.0, 2.0).unwrap();
+        let s = spec()
+            .with_price(0.25)
+            .with_profile(profile)
+            .with_tasks(vec![TaskSpec::sized(2.0); 3]);
+        assert_eq!(s.price, 0.25);
+        assert_eq!(s.profile, profile);
+        assert_eq!(s.task_count(), 3);
+        assert_eq!(s.tasks[0].size_factor, 2.0);
+    }
+
+    #[test]
+    fn absolute_deadline() {
+        assert_eq!(spec().absolute_deadline(), SimTime::from_secs(110.0));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(spec().validate().is_ok());
+        assert!(spec().with_tasks(Vec::new()).validate().is_err());
+        assert!(spec().with_price(-0.5).validate().is_err());
+        let mut bad = spec();
+        bad.deadline_secs = 0.0;
+        assert!(bad.validate().is_err());
+        assert!(spec()
+            .with_tasks(vec![TaskSpec::sized(0.0)])
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn task_runtime_tracks_completion() {
+        let mut t = TaskRuntime::new(TaskId::new(0), JobId::new(1), 0, &TaskSpec::nominal());
+        assert!(!t.is_completed());
+        t.completed_at = Some(SimTime::from_secs(30.0));
+        assert!(t.is_completed());
+        assert_eq!(t.size_factor, 1.0);
+    }
+
+    #[test]
+    fn job_runtime_completion_and_deadline() {
+        let mut j = JobRuntime::new(spec());
+        assert!(!j.is_completed());
+        assert_eq!(j.met_deadline(), None);
+        for i in 0..4 {
+            assert!(!j.is_completed());
+            j.record_task_completion(SimTime::from_secs(20.0 + f64::from(i)));
+        }
+        assert!(j.is_completed());
+        assert_eq!(j.completed_at, Some(SimTime::from_secs(23.0)));
+        assert_eq!(j.met_deadline(), Some(true));
+
+        let mut late = JobRuntime::new(spec());
+        let after_deadline = late.spec.absolute_deadline() + SimDuration::from_secs(1.0);
+        for _ in 0..4 {
+            late.record_task_completion(after_deadline);
+        }
+        assert_eq!(late.met_deadline(), Some(false));
+    }
+}

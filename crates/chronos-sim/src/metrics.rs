@@ -1,0 +1,265 @@
+//! Measurement: per-job metrics and the aggregate simulation report.
+//!
+//! The evaluation section measures three quantities per strategy: **PoCD**
+//! (fraction of jobs finishing before their deadline), **cost** (average
+//! machine running time priced at the per-unit VM rate) and **net utility**
+//! `lg(PoCD − R_min) − θ·Cost`. [`SimulationReport`] computes all three from
+//! the raw per-job records.
+
+use crate::ids::JobId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Metrics of a single job after the simulation finished (or was cut off).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// The job.
+    pub job: JobId,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// Deadline in seconds relative to submission.
+    pub deadline_secs: f64,
+    /// Completion instant, if the job finished within the simulation.
+    pub completed_at: Option<SimTime>,
+    /// Whether the job finished before its deadline.
+    pub met_deadline: bool,
+    /// Total machine running time of every attempt of the job (seconds).
+    pub machine_time_secs: f64,
+    /// Machine time multiplied by the job's per-unit-time price.
+    pub cost: f64,
+    /// Number of attempts ever launched (original + speculative/clone).
+    pub attempts_launched: u32,
+    /// Number of attempts killed by the Application Master.
+    pub attempts_killed: u32,
+    /// The number of extra attempts `r` the policy chose for this job, when
+    /// the policy reported one (Chronos strategies do; baselines may not).
+    pub chosen_r: Option<u32>,
+}
+
+impl JobMetrics {
+    /// Job turnaround time in seconds, when the job completed.
+    #[must_use]
+    pub fn completion_secs(&self) -> Option<f64> {
+        self.completed_at
+            .map(|done| (done.saturating_since(self.submitted_at)).as_secs())
+    }
+}
+
+/// Aggregate report over all jobs of one simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// The policy that produced this run.
+    pub policy: String,
+    /// Per-job metrics keyed by job id.
+    pub jobs: BTreeMap<JobId, JobMetrics>,
+    /// Total number of events processed (diagnostic).
+    pub events_processed: u64,
+    /// Simulated instant at which the run ended.
+    pub ended_at: SimTime,
+}
+
+impl SimulationReport {
+    /// Number of jobs in the report.
+    #[must_use]
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// PoCD: the fraction of jobs that completed before their deadline.
+    #[must_use]
+    pub fn pocd(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        let met = self.jobs.values().filter(|j| j.met_deadline).count();
+        met as f64 / self.jobs.len() as f64
+    }
+
+    /// Mean machine running time per job, in seconds.
+    #[must_use]
+    pub fn mean_machine_time(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.values().map(|j| j.machine_time_secs).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Mean priced cost per job (the paper's "Cost" axis).
+    #[must_use]
+    pub fn mean_cost(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.values().map(|j| j.cost).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Total priced cost over all jobs.
+    #[must_use]
+    pub fn total_cost(&self) -> f64 {
+        self.jobs.values().map(|j| j.cost).sum()
+    }
+
+    /// Mean job completion (turnaround) time over completed jobs, seconds.
+    #[must_use]
+    pub fn mean_completion_secs(&self) -> Option<f64> {
+        let completed: Vec<f64> = self
+            .jobs
+            .values()
+            .filter_map(JobMetrics::completion_secs)
+            .collect();
+        if completed.is_empty() {
+            None
+        } else {
+            Some(completed.iter().sum::<f64>() / completed.len() as f64)
+        }
+    }
+
+    /// Total attempts launched across all jobs.
+    #[must_use]
+    pub fn total_attempts(&self) -> u64 {
+        self.jobs.values().map(|j| u64::from(j.attempts_launched)).sum()
+    }
+
+    /// Total attempts killed across all jobs.
+    #[must_use]
+    pub fn total_kills(&self) -> u64 {
+        self.jobs.values().map(|j| u64::from(j.attempts_killed)).sum()
+    }
+
+    /// Histogram of the `r` values the policy chose (Figure 5). Jobs without
+    /// a reported `r` are ignored.
+    #[must_use]
+    pub fn chosen_r_histogram(&self) -> BTreeMap<u32, usize> {
+        let mut histogram = BTreeMap::new();
+        for job in self.jobs.values() {
+            if let Some(r) = job.chosen_r {
+                *histogram.entry(r).or_insert(0) += 1;
+            }
+        }
+        histogram
+    }
+
+    /// Net utility `lg(PoCD − r_min) − θ · mean cost`, the paper's "Utility"
+    /// axis. Returns `f64::NEG_INFINITY` when the PoCD does not exceed the
+    /// floor, matching the analytical convention.
+    #[must_use]
+    pub fn net_utility(&self, theta: f64, r_min: f64) -> f64 {
+        let margin = self.pocd() - r_min;
+        if margin <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        margin.log10() - theta * self.mean_cost()
+    }
+
+    /// Fraction of jobs that did not finish before the simulation ended.
+    #[must_use]
+    pub fn unfinished_fraction(&self) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        let unfinished = self
+            .jobs
+            .values()
+            .filter(|j| j.completed_at.is_none())
+            .count();
+        unfinished as f64 / self.jobs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(id: u64, met: bool, machine: f64, cost: f64, r: Option<u32>) -> JobMetrics {
+        JobMetrics {
+            job: JobId::new(id),
+            submitted_at: SimTime::from_secs(0.0),
+            deadline_secs: 100.0,
+            completed_at: Some(SimTime::from_secs(if met { 80.0 } else { 150.0 })),
+            met_deadline: met,
+            machine_time_secs: machine,
+            cost,
+            attempts_launched: 3,
+            attempts_killed: 1,
+            chosen_r: r,
+        }
+    }
+
+    fn report() -> SimulationReport {
+        let mut jobs = BTreeMap::new();
+        jobs.insert(JobId::new(0), metrics(0, true, 600.0, 6.0, Some(2)));
+        jobs.insert(JobId::new(1), metrics(1, true, 400.0, 4.0, Some(2)));
+        jobs.insert(JobId::new(2), metrics(2, false, 800.0, 8.0, Some(3)));
+        jobs.insert(JobId::new(3), metrics(3, true, 200.0, 2.0, None));
+        SimulationReport {
+            policy: "test".to_string(),
+            jobs,
+            events_processed: 99,
+            ended_at: SimTime::from_secs(500.0),
+        }
+    }
+
+    #[test]
+    fn pocd_is_met_fraction() {
+        assert!((report().pocd() - 0.75).abs() < 1e-12);
+        assert_eq!(SimulationReport::default().pocd(), 0.0);
+    }
+
+    #[test]
+    fn cost_and_machine_time_means() {
+        let r = report();
+        assert!((r.mean_machine_time() - 500.0).abs() < 1e-9);
+        assert!((r.mean_cost() - 5.0).abs() < 1e-9);
+        assert!((r.total_cost() - 20.0).abs() < 1e-9);
+        assert_eq!(SimulationReport::default().mean_cost(), 0.0);
+    }
+
+    #[test]
+    fn completion_time_mean() {
+        let r = report();
+        // Three jobs at 80 s, one at 150 s.
+        assert!((r.mean_completion_secs().unwrap() - (3.0 * 80.0 + 150.0) / 4.0).abs() < 1e-9);
+        assert!(SimulationReport::default().mean_completion_secs().is_none());
+    }
+
+    #[test]
+    fn attempt_counters() {
+        let r = report();
+        assert_eq!(r.total_attempts(), 12);
+        assert_eq!(r.total_kills(), 4);
+        assert_eq!(r.job_count(), 4);
+    }
+
+    #[test]
+    fn histogram_of_r() {
+        let histogram = report().chosen_r_histogram();
+        assert_eq!(histogram.get(&2), Some(&2));
+        assert_eq!(histogram.get(&3), Some(&1));
+        assert_eq!(histogram.get(&0), None);
+    }
+
+    #[test]
+    fn net_utility_matches_definition() {
+        let r = report();
+        let expected = (0.75f64 - 0.1).log10() - 1e-3 * 5.0;
+        assert!((r.net_utility(1e-3, 0.1) - expected).abs() < 1e-12);
+        assert_eq!(r.net_utility(1e-3, 0.75), f64::NEG_INFINITY);
+        assert_eq!(r.net_utility(1e-3, 0.9), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn unfinished_fraction_counts_incomplete_jobs() {
+        let mut r = report();
+        assert_eq!(r.unfinished_fraction(), 0.0);
+        r.jobs.get_mut(&JobId::new(2)).unwrap().completed_at = None;
+        assert!((r.unfinished_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(SimulationReport::default().unfinished_fraction(), 0.0);
+    }
+
+    #[test]
+    fn job_metrics_completion_secs() {
+        let m = metrics(0, true, 1.0, 1.0, None);
+        assert!((m.completion_secs().unwrap() - 80.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,343 @@
+//! The speculation-policy interface between the Application Master and the
+//! strategies implemented in `chronos-strategies`.
+//!
+//! The engine owns all runtime state; at the decision points of Section III
+//! (job submission, `τ_est`, `τ_kill`, or a periodic scan for the Hadoop /
+//! Mantri baselines) it builds an immutable snapshot — [`JobView`] — and asks
+//! the policy for [`PolicyAction`]s. Keeping the policy behind snapshots and
+//! actions keeps baselines and Chronos strategies interchangeable and makes
+//! every policy unit-testable without an engine.
+
+use crate::ids::{AttemptId, JobId, TaskId};
+use crate::time::SimTime;
+use chronos_core::Pareto;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Snapshot of a job at submission time, before any task has been created.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSubmitView {
+    /// The job being submitted.
+    pub job: JobId,
+    /// Number of map tasks.
+    pub task_count: u32,
+    /// Deadline in seconds relative to submission.
+    pub deadline_secs: f64,
+    /// Per-unit-time VM price of this job.
+    pub price: f64,
+    /// The believed task-time distribution (used by optimizing policies).
+    pub profile: Pareto,
+}
+
+/// What the policy decides at submission time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SubmitDecision {
+    /// Extra attempts to launch immediately alongside each task's original
+    /// attempt (the Clone strategy's `r`; zero for reactive strategies).
+    pub extra_clones_per_task: u32,
+    /// The `r` value the policy's optimizer chose for this job, reported so
+    /// the metrics can build the Figure 5 histogram. Baselines without an
+    /// optimizer leave this as `None`.
+    pub reported_r: Option<u32>,
+}
+
+/// When the policy wants to be called back for a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CheckSchedule {
+    /// Never call back (Hadoop-NS).
+    Never,
+    /// Call back at fixed offsets (seconds) after submission — Chronos uses
+    /// `[τ_est, τ_kill]` (Clone only needs `[τ_kill]`).
+    AtOffsets(Vec<f64>),
+    /// Call back periodically until the job completes (Hadoop-S, LATE,
+    /// Mantri style scanning).
+    Periodic {
+        /// Seconds after submission of the first check.
+        first: f64,
+        /// Seconds between subsequent checks.
+        period: f64,
+    },
+}
+
+/// Snapshot of one attempt at a check point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttemptView {
+    /// Attempt id.
+    pub attempt: AttemptId,
+    /// True while the attempt occupies or waits for a container.
+    pub active: bool,
+    /// True once the attempt has a container and is executing.
+    pub running: bool,
+    /// When the attempt got its container, if it did.
+    pub launched_at: Option<SimTime>,
+    /// Progress score in `[0, 1]` at the check instant.
+    pub progress: f64,
+    /// Estimated completion instant using the estimator configured for the
+    /// Application Master (`None` when no estimate is available yet).
+    pub estimated_completion: Option<SimTime>,
+    /// The split fraction this attempt started from (resume offset).
+    pub start_fraction: f64,
+    /// The Eq. 31 hand-off offset the Application Master suggests for
+    /// attempts that would resume this attempt's work: current progress plus
+    /// the progress expected while a replacement JVM launches.
+    pub resume_offset_hint: f64,
+}
+
+/// Snapshot of one task at a check point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskView {
+    /// Task id.
+    pub task: TaskId,
+    /// True once some attempt finished the task.
+    pub completed: bool,
+    /// Attempts of this task, in creation order.
+    pub attempts: Vec<AttemptView>,
+}
+
+impl TaskView {
+    /// The active attempt with the best progress, if any.
+    #[must_use]
+    pub fn best_progress_attempt(&self) -> Option<&AttemptView> {
+        self.attempts
+            .iter()
+            .filter(|a| a.active)
+            .max_by(|a, b| a.progress.partial_cmp(&b.progress).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The active attempt with the earliest estimated completion, if any
+    /// estimate exists.
+    #[must_use]
+    pub fn earliest_estimated_attempt(&self) -> Option<&AttemptView> {
+        self.attempts
+            .iter()
+            .filter(|a| a.active && a.estimated_completion.is_some())
+            .min_by_key(|a| a.estimated_completion)
+    }
+
+    /// Number of attempts that are still active.
+    #[must_use]
+    pub fn active_attempts(&self) -> usize {
+        self.attempts.iter().filter(|a| a.active).count()
+    }
+}
+
+/// Snapshot of a job at a check point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobView {
+    /// The job.
+    pub job: JobId,
+    /// Submission instant.
+    pub submitted_at: SimTime,
+    /// Deadline in seconds relative to submission.
+    pub deadline_secs: f64,
+    /// The check instant.
+    pub now: SimTime,
+    /// Ordinal of this check for the job (0-based), matching the offsets of
+    /// [`CheckSchedule::AtOffsets`].
+    pub check_index: u32,
+    /// Per-task snapshots in job order.
+    pub tasks: Vec<TaskView>,
+    /// Number of tasks already completed.
+    pub completed_tasks: usize,
+    /// Mean duration (seconds, from job submission to completion) of the
+    /// completed tasks; `None` when no task has finished yet. This is what
+    /// Hadoop-S compares estimated completions against.
+    pub mean_completed_task_duration: Option<f64>,
+    /// Free container slots in the cluster at the check instant.
+    pub free_slots: u64,
+    /// True when some attempt (of any job) is waiting for a container —
+    /// Mantri stops spawning extras when the cluster has waiting work.
+    pub cluster_has_waiting_work: bool,
+}
+
+impl JobView {
+    /// Seconds elapsed since the job was submitted.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        (self.now.saturating_since(self.submitted_at)).as_secs()
+    }
+
+    /// The absolute deadline instant.
+    #[must_use]
+    pub fn absolute_deadline(&self) -> SimTime {
+        self.submitted_at + crate::time::SimDuration::from_secs(self.deadline_secs)
+    }
+
+    /// Converts an absolute instant into seconds relative to submission.
+    #[must_use]
+    pub fn relative_secs(&self, at: SimTime) -> f64 {
+        (at.saturating_since(self.submitted_at)).as_secs()
+    }
+
+    /// Tasks that are not yet complete.
+    pub fn incomplete_tasks(&self) -> impl Iterator<Item = &TaskView> {
+        self.tasks.iter().filter(|t| !t.completed)
+    }
+}
+
+/// An action the policy asks the Application Master to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyAction {
+    /// Launch `count` extra attempts for `task`, starting from split
+    /// fraction `start_fraction` (zero restarts from the beginning;
+    /// Speculative-Resume passes the Eq. 31 offset).
+    LaunchExtra {
+        /// Target task.
+        task: TaskId,
+        /// Number of new attempts.
+        count: u32,
+        /// Split fraction the new attempts start from.
+        start_fraction: f64,
+    },
+    /// Kill one attempt.
+    Kill {
+        /// The attempt to kill.
+        attempt: AttemptId,
+    },
+    /// Kill every active attempt of `task` except `keep`.
+    KillAllExcept {
+        /// Target task.
+        task: TaskId,
+        /// The attempt allowed to keep running.
+        keep: AttemptId,
+    },
+}
+
+/// A speculation policy: the strategy-specific brain plugged into the
+/// Application Master.
+pub trait SpeculationPolicy: fmt::Debug + Send {
+    /// Human-readable policy name, used in reports and experiment output.
+    fn name(&self) -> String;
+
+    /// Called once when a job is submitted. The policy typically runs the
+    /// Chronos optimizer here and remembers the resulting `r` for the job.
+    fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision;
+
+    /// Which check points the policy wants for this job.
+    fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule;
+
+    /// Called at every check point with a fresh snapshot; returns the
+    /// actions the Application Master should apply.
+    fn on_check(&mut self, view: &JobView) -> Vec<PolicyAction>;
+}
+
+/// A policy that never speculates: the Hadoop-NS baseline and the default
+/// placeholder for tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoSpeculation;
+
+impl SpeculationPolicy for NoSpeculation {
+    fn name(&self) -> String {
+        "hadoop-ns".to_string()
+    }
+
+    fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
+        SubmitDecision::default()
+    }
+
+    fn check_schedule(&self, _job: &JobSubmitView) -> CheckSchedule {
+        CheckSchedule::Never
+    }
+
+    fn on_check(&mut self, _view: &JobView) -> Vec<PolicyAction> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attempt_view(id: u64, active: bool, progress: f64, est: Option<f64>) -> AttemptView {
+        AttemptView {
+            attempt: AttemptId::new(id),
+            active,
+            running: active,
+            launched_at: Some(SimTime::ZERO),
+            progress,
+            estimated_completion: est.map(SimTime::from_secs),
+            start_fraction: 0.0,
+            resume_offset_hint: progress,
+        }
+    }
+
+    fn task_view() -> TaskView {
+        TaskView {
+            task: TaskId::new(0),
+            completed: false,
+            attempts: vec![
+                attempt_view(0, true, 0.3, Some(120.0)),
+                attempt_view(1, true, 0.6, Some(90.0)),
+                attempt_view(2, false, 0.9, Some(50.0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn best_progress_ignores_inactive() {
+        let t = task_view();
+        assert_eq!(t.best_progress_attempt().unwrap().attempt, AttemptId::new(1));
+        assert_eq!(t.active_attempts(), 2);
+    }
+
+    #[test]
+    fn earliest_estimate_ignores_inactive_and_missing() {
+        let mut t = task_view();
+        t.attempts[0].estimated_completion = None;
+        assert_eq!(
+            t.earliest_estimated_attempt().unwrap().attempt,
+            AttemptId::new(1)
+        );
+        // No estimates at all: None.
+        t.attempts[1].estimated_completion = None;
+        assert!(t.earliest_estimated_attempt().is_none());
+    }
+
+    #[test]
+    fn job_view_time_helpers() {
+        let view = JobView {
+            job: JobId::new(0),
+            submitted_at: SimTime::from_secs(100.0),
+            deadline_secs: 50.0,
+            now: SimTime::from_secs(130.0),
+            check_index: 0,
+            tasks: vec![task_view()],
+            completed_tasks: 0,
+            mean_completed_task_duration: None,
+            free_slots: 10,
+            cluster_has_waiting_work: false,
+        };
+        assert!((view.elapsed_secs() - 30.0).abs() < 1e-9);
+        assert_eq!(view.absolute_deadline(), SimTime::from_secs(150.0));
+        assert!((view.relative_secs(SimTime::from_secs(140.0)) - 40.0).abs() < 1e-9);
+        assert_eq!(view.incomplete_tasks().count(), 1);
+    }
+
+    #[test]
+    fn no_speculation_policy_is_inert() {
+        let mut p = NoSpeculation;
+        let submit = JobSubmitView {
+            job: JobId::new(0),
+            task_count: 5,
+            deadline_secs: 100.0,
+            price: 1.0,
+            profile: Pareto::default(),
+        };
+        assert_eq!(p.name(), "hadoop-ns");
+        assert_eq!(p.on_job_submit(&submit).extra_clones_per_task, 0);
+        assert_eq!(p.check_schedule(&submit), CheckSchedule::Never);
+        let view = JobView {
+            job: JobId::new(0),
+            submitted_at: SimTime::ZERO,
+            deadline_secs: 100.0,
+            now: SimTime::from_secs(10.0),
+            check_index: 0,
+            tasks: Vec::new(),
+            completed_tasks: 0,
+            mean_completed_task_duration: None,
+            free_slots: 0,
+            cluster_has_waiting_work: false,
+        };
+        assert!(p.on_check(&view).is_empty());
+    }
+}

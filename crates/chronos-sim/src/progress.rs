@@ -1,0 +1,318 @@
+//! Completion-time estimation and the Speculative-Resume offset estimator.
+//!
+//! Section VI of the paper observes that Hadoop's default completion-time
+//! estimate — elapsed time divided by progress score — is badly biased in
+//! contended clusters because it folds the JVM launch time into the
+//! processing rate. Chronos' estimator (Eq. 30) separates the two by using
+//! the first progress report:
+//!
+//! ```text
+//! t_ect = t_lau + (t_FP − t_lau) + (t_now − t_FP) / (CP − FP)
+//! ```
+//!
+//! where `t_FP`/`FP` are the time and value of the first progress report and
+//! `CP` the current progress. Eq. 31 extends the same idea to predict the
+//! byte offset a resumed attempt should start from, so that the original and
+//! speculative attempts hand over seamlessly despite JVM startup.
+
+use crate::attempt::Attempt;
+use crate::config::EstimatorKind;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A progress report visible to the Application Master.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProgressReport {
+    /// When the report was taken.
+    pub at: SimTime,
+    /// The reported progress score in `[0, 1]`.
+    pub progress: f64,
+}
+
+/// The first progress report an attempt would deliver, given the reporting
+/// interval: one interval after useful work begins.
+///
+/// Returns `None` if the attempt has not started.
+#[must_use]
+pub fn first_progress_report(attempt: &Attempt, report_interval_secs: f64) -> Option<ProgressReport> {
+    let work_start = attempt.work_start()?;
+    let at = work_start + crate::time::SimDuration::from_secs(report_interval_secs.max(0.0));
+    Some(ProgressReport {
+        at,
+        progress: attempt.progress_at(at),
+    })
+}
+
+/// Hadoop's default estimate of the attempt's completion instant at `now`:
+/// `t_lau + (now − t_lau) / progress`.
+///
+/// Returns `None` when the attempt has not started or has made no progress
+/// yet (Hadoop cannot produce an estimate either in that case).
+#[must_use]
+pub fn estimate_completion_hadoop(attempt: &Attempt, now: SimTime) -> Option<SimTime> {
+    let launched = attempt.launched_at?;
+    let progress = attempt.progress_at(now);
+    if progress <= 0.0 {
+        return None;
+    }
+    if progress >= 1.0 {
+        return attempt.completion_time();
+    }
+    let elapsed = (now.saturating_since(launched)).as_secs();
+    let estimated_total = elapsed / progress;
+    Some(launched + crate::time::SimDuration::from_secs(estimated_total))
+}
+
+/// The Chronos estimate of Eq. 30, which accounts for the JVM launch time.
+///
+/// Returns `None` when the attempt has not started, or before the first
+/// progress report exists, or when no progress has accrued since that first
+/// report (the processing rate is then unobservable).
+#[must_use]
+pub fn estimate_completion_chronos(
+    attempt: &Attempt,
+    now: SimTime,
+    report_interval_secs: f64,
+) -> Option<SimTime> {
+    let launched = attempt.launched_at?;
+    let first = first_progress_report(attempt, report_interval_secs)?;
+    if now <= first.at {
+        return None;
+    }
+    let current = attempt.progress_at(now);
+    if current >= 1.0 {
+        return attempt.completion_time();
+    }
+    let delta_progress = current - first.progress;
+    if delta_progress <= 0.0 {
+        return None;
+    }
+    // Eq. 30 literally: t_lau + (t_FP − t_lau) + (t_now − t_FP)/(CP − FP).
+    // The last term is the workload-processing time extrapolated from the
+    // observed rate; the launch overhead (t_FP − t_lau) is added separately
+    // instead of being smeared into the rate as Hadoop's estimator does.
+    let launch_overhead = (first.at.saturating_since(launched)).as_secs();
+    let elapsed_since_first = (now.saturating_since(first.at)).as_secs();
+    let processing_time = elapsed_since_first / delta_progress;
+    Some(
+        launched
+            + crate::time::SimDuration::from_secs(launch_overhead)
+            + crate::time::SimDuration::from_secs(processing_time),
+    )
+}
+
+/// Estimates completion with the estimator selected in the configuration.
+#[must_use]
+pub fn estimate_completion(
+    kind: EstimatorKind,
+    attempt: &Attempt,
+    now: SimTime,
+    report_interval_secs: f64,
+) -> Option<SimTime> {
+    match kind {
+        EstimatorKind::HadoopDefault => estimate_completion_hadoop(attempt, now),
+        EstimatorKind::ChronosJvmAware => {
+            estimate_completion_chronos(attempt, now, report_interval_secs)
+        }
+    }
+}
+
+/// Eq. 31: the split fraction a resumed attempt should start from, given the
+/// original attempt's progress at `now` (= `τ_est`).
+///
+/// The original will keep processing while the replacement's JVM launches;
+/// Chronos estimates that extra progress from the observed rate and the
+/// launch overhead of the original attempt (`t_FP − t_lau`), and skips past
+/// it. The result is clamped to `[current progress, 0.999]`.
+#[must_use]
+pub fn estimate_resume_offset(
+    attempt: &Attempt,
+    now: SimTime,
+    report_interval_secs: f64,
+) -> f64 {
+    let current = attempt.progress_at(now);
+    let Some(launched) = attempt.launched_at else {
+        return current;
+    };
+    let Some(first) = first_progress_report(attempt, report_interval_secs) else {
+        return current;
+    };
+    if now <= first.at {
+        return current;
+    }
+    let processed_since_start = current - attempt.start_fraction;
+    let observation_window = (now.saturating_since(first.at)).as_secs();
+    if processed_since_start <= 0.0 || observation_window <= 0.0 {
+        return current;
+    }
+    // b_extra = b_est / (τ_est − t_FP) · (t_FP − t_lau)
+    if current >= 0.999 {
+        // Nothing meaningful remains to hand off; cap below 1 so a resumed
+        // attempt still has a non-empty split.
+        return 0.999;
+    }
+    let launch_overhead = (first.at.saturating_since(launched)).as_secs();
+    let rate = processed_since_start / observation_window;
+    let extra = rate * launch_overhead;
+    (current + extra).clamp(current, 0.999)
+}
+
+/// Absolute estimation error (in seconds) of an estimator against the true
+/// completion time of a started attempt; `None` when either side is
+/// unavailable. Used by the estimator-accuracy ablation.
+#[must_use]
+pub fn estimation_error_secs(
+    kind: EstimatorKind,
+    attempt: &Attempt,
+    now: SimTime,
+    report_interval_secs: f64,
+) -> Option<f64> {
+    let estimate = estimate_completion(kind, attempt, now, report_interval_secs)?;
+    let actual = attempt.completion_time()?;
+    Some((estimate.as_secs() - actual.as_secs()).abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AttemptId, JobId, NodeId, TaskId};
+
+    fn attempt(jvm: f64, work: f64, offset: f64) -> Attempt {
+        let mut a = Attempt::pending(
+            AttemptId::new(0),
+            TaskId::new(0),
+            JobId::new(0),
+            SimTime::ZERO,
+            offset,
+        );
+        a.start(NodeId::new(0), SimTime::from_secs(0.0), jvm, work);
+        a
+    }
+
+    #[test]
+    fn first_report_one_interval_after_work_starts() {
+        let a = attempt(5.0, 100.0, 0.0);
+        let r = first_progress_report(&a, 2.0).unwrap();
+        assert_eq!(r.at, SimTime::from_secs(7.0));
+        assert!((r.progress - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstarted_attempt_has_no_estimates() {
+        let a = Attempt::pending(
+            AttemptId::new(0),
+            TaskId::new(0),
+            JobId::new(0),
+            SimTime::ZERO,
+            0.0,
+        );
+        assert!(first_progress_report(&a, 1.0).is_none());
+        assert!(estimate_completion_hadoop(&a, SimTime::from_secs(10.0)).is_none());
+        assert!(estimate_completion_chronos(&a, SimTime::from_secs(10.0), 1.0).is_none());
+    }
+
+    #[test]
+    fn hadoop_estimator_inflated_by_jvm_time() {
+        // True completion: 10 s JVM + 100 s work = 110 s. At t = 30 the
+        // attempt has processed 20 % of its split; Hadoop estimates
+        // 30 / 0.2 = 150 s — a 40-second over-estimate caused by the launch
+        // overhead.
+        let a = attempt(10.0, 100.0, 0.0);
+        let est = estimate_completion_hadoop(&a, SimTime::from_secs(30.0)).unwrap();
+        assert!((est.as_secs() - 150.0).abs() < 1e-6);
+        assert_eq!(a.completion_time(), Some(SimTime::from_secs(110.0)));
+    }
+
+    #[test]
+    fn chronos_estimator_error_bounded_by_report_interval() {
+        // True completion is 110 s; Eq. 30 charges the first reporting
+        // interval into the launch overhead, so its estimate is off by at
+        // most that interval (here 1 s) instead of the ~40 s Hadoop error.
+        let a = attempt(10.0, 100.0, 0.0);
+        let est = estimate_completion_chronos(&a, SimTime::from_secs(30.0), 1.0).unwrap();
+        assert!(
+            (est.as_secs() - 110.0).abs() <= 1.0 + 1e-9,
+            "estimate {}",
+            est.as_secs()
+        );
+    }
+
+    #[test]
+    fn chronos_estimator_waits_for_observations() {
+        let a = attempt(10.0, 100.0, 0.0);
+        // Before the first report (t = 11) there is nothing to extrapolate.
+        assert!(estimate_completion_chronos(&a, SimTime::from_secs(10.5), 1.0).is_none());
+        assert!(estimate_completion_chronos(&a, SimTime::from_secs(11.0), 1.0).is_none());
+        assert!(estimate_completion_chronos(&a, SimTime::from_secs(12.0), 1.0).is_some());
+    }
+
+    #[test]
+    fn estimator_error_comparison_favours_chronos() {
+        let a = attempt(8.0, 60.0, 0.0);
+        let now = SimTime::from_secs(20.0);
+        let hadoop = estimation_error_secs(EstimatorKind::HadoopDefault, &a, now, 1.0).unwrap();
+        let chronos = estimation_error_secs(EstimatorKind::ChronosJvmAware, &a, now, 1.0).unwrap();
+        assert!(
+            chronos < hadoop,
+            "chronos error {chronos} should beat hadoop error {hadoop}"
+        );
+        assert!(chronos <= 1.0 + 1e-9, "chronos error {chronos}");
+    }
+
+    #[test]
+    fn completed_attempts_report_their_true_completion() {
+        let a = attempt(2.0, 10.0, 0.0);
+        let done = SimTime::from_secs(50.0);
+        let est_h = estimate_completion_hadoop(&a, done).unwrap();
+        let est_c = estimate_completion_chronos(&a, done, 1.0).unwrap();
+        assert_eq!(est_h, a.completion_time().unwrap());
+        assert_eq!(est_c, a.completion_time().unwrap());
+    }
+
+    #[test]
+    fn dispatch_respects_estimator_kind() {
+        let a = attempt(10.0, 100.0, 0.0);
+        let now = SimTime::from_secs(30.0);
+        let h = estimate_completion(EstimatorKind::HadoopDefault, &a, now, 1.0).unwrap();
+        let c = estimate_completion(EstimatorKind::ChronosJvmAware, &a, now, 1.0).unwrap();
+        assert!(h > c);
+    }
+
+    #[test]
+    fn resume_offset_skips_launch_overhead() {
+        // Original: 10 s JVM, 100 s work. At τ_est = 40 it has processed 30 %.
+        // Observed rate uses the first report at t = 11 (progress 1 %), so
+        // rate ≈ 1 %/s and the 11 s launch overhead maps to ≈ 11 % extra.
+        let a = attempt(10.0, 100.0, 0.0);
+        let offset = estimate_resume_offset(&a, SimTime::from_secs(40.0), 1.0);
+        let progress_now = a.progress_at(SimTime::from_secs(40.0));
+        assert!(offset > progress_now);
+        assert!((offset - (progress_now + 0.11)).abs() < 0.02, "offset {offset}");
+        assert!(offset < 1.0);
+    }
+
+    #[test]
+    fn resume_offset_degenerates_gracefully() {
+        // Unstarted attempt: offset equals current (zero) progress.
+        let pending = Attempt::pending(
+            AttemptId::new(0),
+            TaskId::new(0),
+            JobId::new(0),
+            SimTime::ZERO,
+            0.0,
+        );
+        assert_eq!(estimate_resume_offset(&pending, SimTime::from_secs(5.0), 1.0), 0.0);
+        // Query before the first report: no extrapolation.
+        let a = attempt(10.0, 100.0, 0.0);
+        let early = estimate_resume_offset(&a, SimTime::from_secs(10.5), 1.0);
+        assert_eq!(early, a.progress_at(SimTime::from_secs(10.5)));
+    }
+
+    #[test]
+    fn resume_offset_is_capped_below_one() {
+        // An attempt that is nearly done cannot hand off an offset >= 1.
+        let a = attempt(50.0, 10.0, 0.0);
+        let offset = estimate_resume_offset(&a, SimTime::from_secs(59.9), 1.0);
+        assert!(offset <= 0.999);
+    }
+}

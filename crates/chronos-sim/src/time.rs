@@ -1,0 +1,209 @@
+//! Simulation clock types.
+//!
+//! The simulator uses an integer microsecond clock so that event ordering is
+//! total and runs are bit-for-bit reproducible under a fixed seed, while all
+//! public analytical interfaces speak in `f64` seconds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in microseconds since simulation start.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, measured in microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+const MICROS_PER_SEC: f64 = 1_000_000.0;
+
+impl SimTime {
+    /// The simulation origin (time zero).
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds a time from whole microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Builds a time from (possibly fractional) seconds. Negative or
+    /// non-finite inputs saturate to zero.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimTime(0);
+        }
+        SimTime((secs * MICROS_PER_SEC).round() as u64)
+    }
+
+    /// This instant expressed in microseconds.
+    #[must_use]
+    pub const fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in seconds.
+    #[must_use]
+    pub fn as_secs(&self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC
+    }
+
+    /// The duration elapsed since `earlier`, saturating to zero if `earlier`
+    /// is in the future.
+    #[must_use]
+    pub fn saturating_since(&self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from whole microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Builds a duration from (possibly fractional) seconds. Negative or
+    /// non-finite inputs saturate to zero.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((secs * MICROS_PER_SEC).round() as u64)
+    }
+
+    /// This duration expressed in microseconds.
+    #[must_use]
+    pub const fn as_micros(&self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in seconds.
+    #[must_use]
+    pub fn as_secs(&self) -> f64 {
+        self.0 as f64 / MICROS_PER_SEC
+    }
+
+    /// True when the duration is exactly zero.
+    #[must_use]
+    pub const fn is_zero(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_round_trip() {
+        let t = SimTime::from_secs(12.5);
+        assert_eq!(t.as_micros(), 12_500_000);
+        assert!((t.as_secs() - 12.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_and_nan_saturate_to_zero() {
+        assert_eq!(SimTime::from_secs(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs(f64::INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10.0) + SimDuration::from_secs(5.0);
+        assert_eq!(t, SimTime::from_secs(15.0));
+        let d = SimTime::from_secs(15.0) - SimTime::from_secs(10.0);
+        assert_eq!(d, SimDuration::from_secs(5.0));
+        // Subtraction saturates rather than underflowing.
+        let z = SimTime::from_secs(1.0) - SimTime::from_secs(2.0);
+        assert_eq!(z, SimDuration::ZERO);
+        let mut t = SimTime::ZERO;
+        t += SimDuration::from_secs(2.0);
+        assert_eq!(t, SimTime::from_secs(2.0));
+        assert_eq!(
+            SimDuration::from_secs(1.0) + SimDuration::from_secs(2.0),
+            SimDuration::from_secs(3.0)
+        );
+    }
+
+    #[test]
+    fn saturating_since() {
+        let a = SimTime::from_secs(3.0);
+        let b = SimTime::from_secs(8.0);
+        assert_eq!(b.saturating_since(a), SimDuration::from_secs(5.0));
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut times = vec![
+            SimTime::from_secs(5.0),
+            SimTime::from_secs(1.0),
+            SimTime::from_secs(3.0),
+        ];
+        times.sort();
+        assert_eq!(times[0], SimTime::from_secs(1.0));
+        assert_eq!(times[2], SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500s");
+        assert_eq!(SimDuration::from_secs(0.25).to_string(), "0.250s");
+        assert!(SimDuration::ZERO.is_zero());
+    }
+}

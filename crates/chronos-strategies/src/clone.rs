@@ -1,0 +1,188 @@
+//! The Clone strategy (Section III / VI.A): launch `r + 1` attempts of every
+//! task at submission, prune to the best-progress attempt at `τ_kill`.
+
+use crate::common::ChronosPolicyConfig;
+use chronos_core::StrategyKind;
+use chronos_sim::prelude::{
+    CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy, SubmitDecision,
+};
+use std::collections::BTreeMap;
+
+/// The proactive cloning policy.
+///
+/// At job submission the Application Master solves the joint PoCD/cost
+/// optimization for the Clone closed forms (Theorems 1 and 2) to obtain `r`,
+/// then creates `r` extra copies of every task alongside the original. At
+/// `τ_kill` the attempt with the best progress score is kept and the other
+/// `r` are killed.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_strategies::prelude::*;
+///
+/// let policy = ClonePolicy::new(ChronosPolicyConfig::testbed());
+/// assert_eq!(policy.name(), "clone");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClonePolicy {
+    config: ChronosPolicyConfig,
+    chosen_r: BTreeMap<u64, u32>,
+}
+
+impl ClonePolicy {
+    /// Creates the policy with the given Chronos configuration.
+    #[must_use]
+    pub fn new(config: ChronosPolicyConfig) -> Self {
+        ClonePolicy {
+            config,
+            chosen_r: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration this policy optimizes with.
+    #[must_use]
+    pub fn config(&self) -> &ChronosPolicyConfig {
+        &self.config
+    }
+
+    /// The `r` chosen for a job, if it has been submitted already.
+    #[must_use]
+    pub fn chosen_r(&self, job: chronos_sim::prelude::JobId) -> Option<u32> {
+        self.chosen_r.get(&job.raw()).copied()
+    }
+}
+
+impl SpeculationPolicy for ClonePolicy {
+    fn name(&self) -> String {
+        "clone".to_string()
+    }
+
+    fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision {
+        let r = self.config.optimize_r(job, StrategyKind::Clone);
+        self.chosen_r.insert(job.job.raw(), r);
+        SubmitDecision {
+            extra_clones_per_task: r,
+            reported_r: Some(r),
+        }
+    }
+
+    fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule {
+        let (_, tau_kill) = self.config.timing.resolve(job.profile.t_min());
+        CheckSchedule::AtOffsets(vec![tau_kill])
+    }
+
+    fn on_check(&mut self, view: &JobView) -> Vec<PolicyAction> {
+        // τ_kill: keep the best-progress attempt of every unfinished task.
+        let mut actions = Vec::new();
+        for task in view.incomplete_tasks() {
+            if task.active_attempts() <= 1 {
+                continue;
+            }
+            if let Some(best) = task.best_progress_attempt() {
+                actions.push(PolicyAction::KillAllExcept {
+                    task: task.task,
+                    keep: best.attempt,
+                });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::Pareto;
+    use chronos_sim::prelude::{
+        AttemptId, AttemptView, JobId, SimTime, TaskId, TaskView,
+    };
+
+    fn submit_view() -> JobSubmitView {
+        JobSubmitView {
+            job: JobId::new(7),
+            task_count: 10,
+            deadline_secs: 100.0,
+            price: 1.0,
+            profile: Pareto::new(20.0, 1.5).unwrap(),
+        }
+    }
+
+    #[test]
+    fn submit_clones_r_extra_attempts() {
+        let mut policy = ClonePolicy::new(ChronosPolicyConfig::testbed());
+        let decision = policy.on_job_submit(&submit_view());
+        assert!(decision.extra_clones_per_task >= 1);
+        assert_eq!(decision.reported_r, Some(decision.extra_clones_per_task));
+        assert_eq!(
+            policy.chosen_r(JobId::new(7)),
+            Some(decision.extra_clones_per_task)
+        );
+    }
+
+    #[test]
+    fn schedule_is_single_kill_point() {
+        let policy = ClonePolicy::new(ChronosPolicyConfig::testbed());
+        match policy.check_schedule(&submit_view()) {
+            CheckSchedule::AtOffsets(offsets) => assert_eq!(offsets, vec![80.0]),
+            other => panic!("unexpected schedule {other:?}"),
+        }
+    }
+
+    #[test]
+    fn check_prunes_to_best_progress() {
+        let mut policy = ClonePolicy::new(ChronosPolicyConfig::testbed());
+        let attempts = |values: &[(u64, f64, bool)]| -> Vec<AttemptView> {
+            values
+                .iter()
+                .map(|(id, progress, active)| AttemptView {
+                    attempt: AttemptId::new(*id),
+                    active: *active,
+                    running: *active,
+                    launched_at: Some(SimTime::ZERO),
+                    progress: *progress,
+                    estimated_completion: None,
+                    start_fraction: 0.0,
+                    resume_offset_hint: *progress,
+                })
+                .collect()
+        };
+        let view = JobView {
+            job: JobId::new(7),
+            submitted_at: SimTime::ZERO,
+            deadline_secs: 100.0,
+            now: SimTime::from_secs(80.0),
+            check_index: 0,
+            tasks: vec![
+                TaskView {
+                    task: TaskId::new(0),
+                    completed: false,
+                    attempts: attempts(&[(0, 0.4, true), (1, 0.7, true), (2, 0.1, true)]),
+                },
+                TaskView {
+                    task: TaskId::new(1),
+                    completed: true,
+                    attempts: attempts(&[(3, 1.0, false)]),
+                },
+                TaskView {
+                    task: TaskId::new(2),
+                    completed: false,
+                    attempts: attempts(&[(4, 0.5, true)]),
+                },
+            ],
+            completed_tasks: 1,
+            mean_completed_task_duration: Some(60.0),
+            free_slots: 100,
+            cluster_has_waiting_work: false,
+        };
+        let actions = policy.on_check(&view);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(
+            actions[0],
+            PolicyAction::KillAllExcept {
+                task: TaskId::new(0),
+                keep: AttemptId::new(1),
+            }
+        );
+    }
+}

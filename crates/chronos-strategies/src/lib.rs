@@ -1,0 +1,132 @@
+//! # chronos-strategies
+//!
+//! The speculative-execution strategies evaluated in the Chronos paper,
+//! implemented against the policy interface of [`chronos_sim`]:
+//!
+//! * the three **Chronos strategies** — [`ClonePolicy`], [`RestartPolicy`]
+//!   (Speculative-Restart) and [`ResumePolicy`] (Speculative-Resume) — each
+//!   of which runs Algorithm 1 from [`chronos_core`] at job submission to
+//!   pick the optimal number of extra attempts `r`;
+//! * the **baselines**: [`HadoopNoSpec`] (Hadoop-NS), [`HadoopSpeculate`]
+//!   (Hadoop-S, stock speculation) and [`MantriPolicy`] (Mantri-style
+//!   outlier mitigation).
+//!
+//! # Example: build every policy used in Figure 2
+//!
+//! ```
+//! use chronos_strategies::prelude::*;
+//! use chronos_sim::prelude::SpeculationPolicy;
+//!
+//! let config = ChronosPolicyConfig::testbed();
+//! let policies: Vec<Box<dyn SpeculationPolicy>> = vec![
+//!     Box::new(HadoopNoSpec::default()),
+//!     Box::new(HadoopSpeculate::default()),
+//!     Box::new(ClonePolicy::new(config)),
+//!     Box::new(RestartPolicy::new(config)),
+//!     Box::new(ResumePolicy::new(config)),
+//! ];
+//! assert_eq!(policies.len(), 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod clone;
+pub mod common;
+pub mod hadoop;
+pub mod mantri;
+pub mod restart;
+pub mod resume;
+pub mod timing;
+
+pub mod prelude;
+
+pub use clone::ClonePolicy;
+pub use common::{expected_straggler_progress, ChronosPolicyConfig};
+pub use hadoop::{HadoopNoSpec, HadoopSpeculate};
+pub use mantri::MantriPolicy;
+pub use restart::RestartPolicy;
+pub use resume::ResumePolicy;
+pub use timing::{StrategyTiming, Timing};
+
+use chronos_sim::prelude::SpeculationPolicy;
+
+/// Identifier of every policy this crate can build, used by the experiment
+/// harness to iterate over strategy line-ups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Hadoop with speculation disabled.
+    HadoopNoSpec,
+    /// Default Hadoop speculation.
+    HadoopSpeculate,
+    /// Mantri-style outlier mitigation.
+    Mantri,
+    /// Chronos Clone.
+    Clone,
+    /// Chronos Speculative-Restart.
+    SpeculativeRestart,
+    /// Chronos Speculative-Resume.
+    SpeculativeResume,
+}
+
+impl PolicyKind {
+    /// All policies, in the order the paper's figures list them.
+    pub const ALL: [PolicyKind; 6] = [
+        PolicyKind::HadoopNoSpec,
+        PolicyKind::HadoopSpeculate,
+        PolicyKind::Mantri,
+        PolicyKind::Clone,
+        PolicyKind::SpeculativeRestart,
+        PolicyKind::SpeculativeResume,
+    ];
+
+    /// The label used in experiment output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::HadoopNoSpec => "hadoop-ns",
+            PolicyKind::HadoopSpeculate => "hadoop-s",
+            PolicyKind::Mantri => "mantri",
+            PolicyKind::Clone => "clone",
+            PolicyKind::SpeculativeRestart => "s-restart",
+            PolicyKind::SpeculativeResume => "s-resume",
+        }
+    }
+
+    /// Instantiates the policy. Chronos strategies use `config`; baselines
+    /// ignore it.
+    #[must_use]
+    pub fn build(&self, config: ChronosPolicyConfig) -> Box<dyn SpeculationPolicy> {
+        match self {
+            PolicyKind::HadoopNoSpec => Box::new(HadoopNoSpec::default()),
+            PolicyKind::HadoopSpeculate => Box::new(HadoopSpeculate::default()),
+            PolicyKind::Mantri => Box::new(MantriPolicy::default()),
+            PolicyKind::Clone => Box::new(ClonePolicy::new(config)),
+            PolicyKind::SpeculativeRestart => Box::new(RestartPolicy::new(config)),
+            PolicyKind::SpeculativeResume => Box::new(ResumePolicy::new(config)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = PolicyKind::ALL.iter().map(PolicyKind::label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        let config = ChronosPolicyConfig::testbed();
+        for kind in PolicyKind::ALL {
+            let policy = kind.build(config);
+            assert_eq!(policy.name(), kind.label(), "{kind:?}");
+        }
+    }
+}

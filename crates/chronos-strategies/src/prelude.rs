@@ -1,0 +1,11 @@
+//! Convenience re-exports for building strategy line-ups.
+
+pub use crate::clone::ClonePolicy;
+pub use crate::common::{expected_straggler_progress, ChronosPolicyConfig};
+pub use crate::hadoop::{HadoopNoSpec, HadoopSpeculate};
+pub use crate::mantri::MantriPolicy;
+pub use crate::restart::RestartPolicy;
+pub use crate::resume::ResumePolicy;
+pub use crate::timing::{StrategyTiming, Timing};
+pub use crate::PolicyKind;
+pub use chronos_sim::prelude::SpeculationPolicy;

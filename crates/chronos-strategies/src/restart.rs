@@ -1,0 +1,256 @@
+//! The Speculative-Restart strategy (Section III / VI.B.1): detect
+//! stragglers at `τ_est`, launch `r` extra attempts from byte zero, keep the
+//! fastest attempt at `τ_kill`.
+
+use crate::common::{is_straggler, prune_keep_candidate, ChronosPolicyConfig};
+use chronos_core::StrategyKind;
+use chronos_sim::prelude::{
+    CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy, SubmitDecision,
+};
+use std::collections::BTreeMap;
+
+/// The reactive restart policy.
+///
+/// One original attempt per task is launched at submission. At `τ_est` every
+/// task whose estimated completion time (Eq. 30) exceeds the deadline gets
+/// `r` additional attempts that reprocess the split from the beginning; at
+/// `τ_kill` only the attempt with the earliest estimated completion
+/// survives.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_strategies::prelude::*;
+///
+/// let policy = RestartPolicy::new(ChronosPolicyConfig::testbed());
+/// assert_eq!(policy.name(), "s-restart");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RestartPolicy {
+    config: ChronosPolicyConfig,
+    chosen_r: BTreeMap<u64, u32>,
+}
+
+impl RestartPolicy {
+    /// Creates the policy with the given Chronos configuration.
+    #[must_use]
+    pub fn new(config: ChronosPolicyConfig) -> Self {
+        RestartPolicy {
+            config,
+            chosen_r: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration this policy optimizes with.
+    #[must_use]
+    pub fn config(&self) -> &ChronosPolicyConfig {
+        &self.config
+    }
+
+    fn r_for(&self, job: chronos_sim::prelude::JobId) -> u32 {
+        self.chosen_r
+            .get(&job.raw())
+            .copied()
+            .unwrap_or(self.config.fallback_r)
+    }
+}
+
+impl SpeculationPolicy for RestartPolicy {
+    fn name(&self) -> String {
+        "s-restart".to_string()
+    }
+
+    fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision {
+        let r = self
+            .config
+            .optimize_r(job, StrategyKind::SpeculativeRestart);
+        self.chosen_r.insert(job.job.raw(), r);
+        SubmitDecision {
+            extra_clones_per_task: 0,
+            reported_r: Some(r),
+        }
+    }
+
+    fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule {
+        let (tau_est, tau_kill) = self.config.timing.resolve(job.profile.t_min());
+        CheckSchedule::AtOffsets(vec![tau_est, tau_kill])
+    }
+
+    fn on_check(&mut self, view: &JobView) -> Vec<PolicyAction> {
+        match view.check_index {
+            0 => self.detect_and_speculate(view),
+            _ => self.prune_to_fastest(view),
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// τ_est: launch `r` restarted attempts for every straggling task.
+    fn detect_and_speculate(&self, view: &JobView) -> Vec<PolicyAction> {
+        let r = self.r_for(view.job);
+        if r == 0 {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        for task in view.incomplete_tasks() {
+            if is_straggler(task, view) {
+                actions.push(PolicyAction::LaunchExtra {
+                    task: task.task,
+                    count: r,
+                    start_fraction: 0.0,
+                });
+            }
+        }
+        actions
+    }
+
+    /// τ_kill: keep the attempt with the earliest estimated completion.
+    fn prune_to_fastest(&self, view: &JobView) -> Vec<PolicyAction> {
+        let mut actions = Vec::new();
+        for task in view.incomplete_tasks() {
+            if task.active_attempts() <= 1 {
+                continue;
+            }
+            if let Some(best) = prune_keep_candidate(task, view) {
+                actions.push(PolicyAction::KillAllExcept {
+                    task: task.task,
+                    keep: best.attempt,
+                });
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::Pareto;
+    use chronos_sim::prelude::{AttemptId, AttemptView, JobId, SimTime, TaskId, TaskView};
+
+    fn submit_view() -> JobSubmitView {
+        JobSubmitView {
+            job: JobId::new(0),
+            task_count: 10,
+            deadline_secs: 100.0,
+            price: 1.0,
+            profile: Pareto::new(20.0, 1.5).unwrap(),
+        }
+    }
+
+    fn attempt(id: u64, est: Option<f64>, progress: f64) -> AttemptView {
+        AttemptView {
+            attempt: AttemptId::new(id),
+            active: true,
+            running: true,
+            launched_at: Some(SimTime::ZERO),
+            progress,
+            estimated_completion: est.map(SimTime::from_secs),
+            start_fraction: 0.0,
+            resume_offset_hint: progress,
+        }
+    }
+
+    fn view(check_index: u32, tasks: Vec<TaskView>) -> JobView {
+        JobView {
+            job: JobId::new(0),
+            submitted_at: SimTime::ZERO,
+            deadline_secs: 100.0,
+            now: SimTime::from_secs(if check_index == 0 { 40.0 } else { 80.0 }),
+            check_index,
+            tasks,
+            completed_tasks: 0,
+            mean_completed_task_duration: None,
+            free_slots: 64,
+            cluster_has_waiting_work: false,
+        }
+    }
+
+    #[test]
+    fn submit_launches_no_clones_but_reports_r() {
+        let mut policy = RestartPolicy::new(ChronosPolicyConfig::testbed());
+        let decision = policy.on_job_submit(&submit_view());
+        assert_eq!(decision.extra_clones_per_task, 0);
+        assert!(decision.reported_r.unwrap() >= 1);
+    }
+
+    #[test]
+    fn schedule_has_estimate_and_kill_points() {
+        let policy = RestartPolicy::new(ChronosPolicyConfig::testbed());
+        match policy.check_schedule(&submit_view()) {
+            CheckSchedule::AtOffsets(offsets) => assert_eq!(offsets, vec![40.0, 80.0]),
+            other => panic!("unexpected schedule {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stragglers_get_r_restarted_attempts() {
+        let mut policy = RestartPolicy::new(ChronosPolicyConfig::testbed());
+        let r = policy.on_job_submit(&submit_view()).reported_r.unwrap();
+        let tasks = vec![
+            TaskView {
+                task: TaskId::new(0),
+                completed: false,
+                attempts: vec![attempt(0, Some(150.0), 0.2)],
+            },
+            TaskView {
+                task: TaskId::new(1),
+                completed: false,
+                attempts: vec![attempt(1, Some(70.0), 0.6)],
+            },
+        ];
+        let actions = policy.on_check(&view(0, tasks));
+        assert_eq!(actions.len(), 1);
+        assert_eq!(
+            actions[0],
+            PolicyAction::LaunchExtra {
+                task: TaskId::new(0),
+                count: r,
+                start_fraction: 0.0,
+            }
+        );
+    }
+
+    #[test]
+    fn prune_keeps_earliest_estimate() {
+        let mut policy = RestartPolicy::new(ChronosPolicyConfig::testbed());
+        policy.on_job_submit(&submit_view());
+        let tasks = vec![TaskView {
+            task: TaskId::new(0),
+            completed: false,
+            attempts: vec![
+                attempt(0, Some(150.0), 0.5),
+                attempt(1, Some(95.0), 0.3),
+                attempt(2, Some(120.0), 0.4),
+            ],
+        }];
+        let actions = policy.on_check(&view(1, tasks));
+        assert_eq!(
+            actions,
+            vec![PolicyAction::KillAllExcept {
+                task: TaskId::new(0),
+                keep: AttemptId::new(1),
+            }]
+        );
+    }
+
+    #[test]
+    fn single_attempt_tasks_are_left_alone_at_kill() {
+        let mut policy = RestartPolicy::new(ChronosPolicyConfig::testbed());
+        policy.on_job_submit(&submit_view());
+        let tasks = vec![TaskView {
+            task: TaskId::new(0),
+            completed: false,
+            attempts: vec![attempt(0, Some(90.0), 0.8)],
+        }];
+        assert!(policy.on_check(&view(1, tasks)).is_empty());
+    }
+
+    #[test]
+    fn unknown_job_uses_fallback_r() {
+        // A check arriving for a job the policy never saw submitted (e.g.
+        // after a policy restart) still behaves sensibly.
+        let policy = RestartPolicy::new(ChronosPolicyConfig::testbed());
+        assert_eq!(policy.r_for(JobId::new(99)), 1);
+    }
+}

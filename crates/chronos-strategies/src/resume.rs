@@ -1,0 +1,277 @@
+//! The Speculative-Resume strategy (Section III / VI.B.2): detect stragglers
+//! at `τ_est`, kill them, and launch `r + 1` fresh attempts that resume from
+//! the Eq. 31 byte offset; keep the fastest attempt at `τ_kill`.
+
+use crate::common::{is_straggler, prune_keep_candidate, ChronosPolicyConfig};
+use chronos_core::StrategyKind;
+use chronos_sim::prelude::{
+    CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy, SubmitDecision,
+    TaskView,
+};
+use std::collections::BTreeMap;
+
+/// The work-preserving reactive policy.
+///
+/// Straggler detection is identical to Speculative-Restart, but the detected
+/// straggler is killed and `r + 1` replacement attempts are launched that
+/// skip the data already processed. The hand-off offset includes the
+/// progress the original would have made while the replacements' JVMs start
+/// (Eq. 31), so no work is reprocessed and no gap is left.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_strategies::prelude::*;
+///
+/// let policy = ResumePolicy::new(ChronosPolicyConfig::testbed());
+/// assert_eq!(policy.name(), "s-resume");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResumePolicy {
+    config: ChronosPolicyConfig,
+    chosen_r: BTreeMap<u64, u32>,
+}
+
+impl ResumePolicy {
+    /// Creates the policy with the given Chronos configuration.
+    #[must_use]
+    pub fn new(config: ChronosPolicyConfig) -> Self {
+        ResumePolicy {
+            config,
+            chosen_r: BTreeMap::new(),
+        }
+    }
+
+    /// The configuration this policy optimizes with.
+    #[must_use]
+    pub fn config(&self) -> &ChronosPolicyConfig {
+        &self.config
+    }
+
+    fn r_for(&self, job: chronos_sim::prelude::JobId) -> u32 {
+        self.chosen_r
+            .get(&job.raw())
+            .copied()
+            .unwrap_or(self.config.fallback_r)
+    }
+
+    /// τ_est: kill the straggling original and relaunch `r + 1` resumed
+    /// attempts from the estimated hand-off offset.
+    fn replace_stragglers(&self, view: &JobView) -> Vec<PolicyAction> {
+        let r = self.r_for(view.job);
+        let mut actions = Vec::new();
+        for task in view.incomplete_tasks() {
+            if !is_straggler(task, view) {
+                continue;
+            }
+            let offset = resume_offset_for(task);
+            for attempt in task.attempts.iter().filter(|a| a.active) {
+                actions.push(PolicyAction::Kill {
+                    attempt: attempt.attempt,
+                });
+            }
+            actions.push(PolicyAction::LaunchExtra {
+                task: task.task,
+                count: r + 1,
+                start_fraction: offset,
+            });
+        }
+        actions
+    }
+
+    /// τ_kill: keep the attempt with the earliest estimated completion.
+    fn prune_to_fastest(&self, view: &JobView) -> Vec<PolicyAction> {
+        let mut actions = Vec::new();
+        for task in view.incomplete_tasks() {
+            if task.active_attempts() <= 1 {
+                continue;
+            }
+            if let Some(best) = prune_keep_candidate(task, view) {
+                actions.push(PolicyAction::KillAllExcept {
+                    task: task.task,
+                    keep: best.attempt,
+                });
+            }
+        }
+        actions
+    }
+}
+
+/// The Eq. 31 offset for a task: the resume-offset hint of its most advanced
+/// active attempt (the straggling original), zero when nothing has started.
+fn resume_offset_for(task: &TaskView) -> f64 {
+    task.attempts
+        .iter()
+        .filter(|a| a.active)
+        .map(|a| a.resume_offset_hint)
+        .fold(0.0, f64::max)
+        .clamp(0.0, 0.999)
+}
+
+impl SpeculationPolicy for ResumePolicy {
+    fn name(&self) -> String {
+        "s-resume".to_string()
+    }
+
+    fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision {
+        let r = self.config.optimize_r(job, StrategyKind::SpeculativeResume);
+        self.chosen_r.insert(job.job.raw(), r);
+        SubmitDecision {
+            extra_clones_per_task: 0,
+            reported_r: Some(r),
+        }
+    }
+
+    fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule {
+        let (tau_est, tau_kill) = self.config.timing.resolve(job.profile.t_min());
+        CheckSchedule::AtOffsets(vec![tau_est, tau_kill])
+    }
+
+    fn on_check(&mut self, view: &JobView) -> Vec<PolicyAction> {
+        match view.check_index {
+            0 => self.replace_stragglers(view),
+            _ => self.prune_to_fastest(view),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::Pareto;
+    use chronos_sim::prelude::{AttemptId, AttemptView, JobId, SimTime, TaskId};
+
+    fn submit_view() -> JobSubmitView {
+        JobSubmitView {
+            job: JobId::new(0),
+            task_count: 10,
+            deadline_secs: 100.0,
+            price: 1.0,
+            profile: Pareto::new(20.0, 1.5).unwrap(),
+        }
+    }
+
+    fn attempt(id: u64, est: Option<f64>, progress: f64, hint: f64) -> AttemptView {
+        AttemptView {
+            attempt: AttemptId::new(id),
+            active: true,
+            running: true,
+            launched_at: Some(SimTime::ZERO),
+            progress,
+            estimated_completion: est.map(SimTime::from_secs),
+            start_fraction: 0.0,
+            resume_offset_hint: hint,
+        }
+    }
+
+    fn view(check_index: u32, tasks: Vec<TaskView>) -> JobView {
+        JobView {
+            job: JobId::new(0),
+            submitted_at: SimTime::ZERO,
+            deadline_secs: 100.0,
+            now: SimTime::from_secs(if check_index == 0 { 40.0 } else { 80.0 }),
+            check_index,
+            tasks,
+            completed_tasks: 0,
+            mean_completed_task_duration: None,
+            free_slots: 64,
+            cluster_has_waiting_work: false,
+        }
+    }
+
+    #[test]
+    fn submit_reports_r_without_clones() {
+        let mut policy = ResumePolicy::new(ChronosPolicyConfig::testbed());
+        let decision = policy.on_job_submit(&submit_view());
+        assert_eq!(decision.extra_clones_per_task, 0);
+        assert!(decision.reported_r.unwrap() >= 1);
+    }
+
+    #[test]
+    fn straggler_is_killed_and_replaced_with_resumed_attempts() {
+        let mut policy = ResumePolicy::new(ChronosPolicyConfig::testbed());
+        let r = policy.on_job_submit(&submit_view()).reported_r.unwrap();
+        let tasks = vec![TaskView {
+            task: TaskId::new(0),
+            completed: false,
+            attempts: vec![attempt(0, Some(160.0), 0.25, 0.31)],
+        }];
+        let actions = policy.on_check(&view(0, tasks));
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0], PolicyAction::Kill { attempt: AttemptId::new(0) });
+        assert_eq!(
+            actions[1],
+            PolicyAction::LaunchExtra {
+                task: TaskId::new(0),
+                count: r + 1,
+                start_fraction: 0.31,
+            }
+        );
+    }
+
+    #[test]
+    fn healthy_tasks_are_untouched() {
+        let mut policy = ResumePolicy::new(ChronosPolicyConfig::testbed());
+        policy.on_job_submit(&submit_view());
+        let tasks = vec![TaskView {
+            task: TaskId::new(0),
+            completed: false,
+            attempts: vec![attempt(0, Some(90.0), 0.5, 0.55)],
+        }];
+        assert!(policy.on_check(&view(0, tasks)).is_empty());
+    }
+
+    #[test]
+    fn prune_keeps_earliest_estimated_completion() {
+        let mut policy = ResumePolicy::new(ChronosPolicyConfig::testbed());
+        policy.on_job_submit(&submit_view());
+        let tasks = vec![TaskView {
+            task: TaskId::new(0),
+            completed: false,
+            attempts: vec![
+                attempt(0, Some(110.0), 0.6, 0.6),
+                attempt(1, Some(95.0), 0.5, 0.5),
+            ],
+        }];
+        let actions = policy.on_check(&view(1, tasks));
+        assert_eq!(
+            actions,
+            vec![PolicyAction::KillAllExcept {
+                task: TaskId::new(0),
+                keep: AttemptId::new(1),
+            }]
+        );
+    }
+
+    #[test]
+    fn resume_offset_uses_most_advanced_active_attempt() {
+        let task = TaskView {
+            task: TaskId::new(0),
+            completed: false,
+            attempts: vec![
+                attempt(0, None, 0.2, 0.25),
+                attempt(1, None, 0.4, 0.47),
+            ],
+        };
+        assert!((resume_offset_for(&task) - 0.47).abs() < 1e-12);
+        let empty = TaskView {
+            task: TaskId::new(1),
+            completed: false,
+            attempts: Vec::new(),
+        };
+        assert_eq!(resume_offset_for(&empty), 0.0);
+    }
+
+    #[test]
+    fn schedule_matches_timing() {
+        let policy = ResumePolicy::new(
+            ChronosPolicyConfig::testbed().with_timing(crate::timing::StrategyTiming::of_tmin(
+                0.3, 0.8,
+            )),
+        );
+        match policy.check_schedule(&submit_view()) {
+            CheckSchedule::AtOffsets(offsets) => assert_eq!(offsets, vec![6.0, 16.0]),
+            other => panic!("unexpected schedule {other:?}"),
+        }
+    }
+}

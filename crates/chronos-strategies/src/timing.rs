@@ -1,0 +1,116 @@
+//! Strategy timing specifications.
+//!
+//! The paper's testbed experiments give `τ_est` and `τ_kill` in absolute
+//! seconds (40 s and 80 s), while the trace-driven sweeps of Tables I and II
+//! express them as fractions of the minimum task time `t_min`. [`Timing`]
+//! supports both and resolves to seconds per job.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in time relative to job submission, given either in absolute
+/// seconds or as a multiple of the job's minimum task time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Timing {
+    /// A fixed number of seconds after submission.
+    Secs(f64),
+    /// A multiple of the job's `t_min` (e.g. `OfTmin(0.3)` = `0.3·t_min`).
+    OfTmin(f64),
+}
+
+impl Timing {
+    /// Resolves the timing to seconds for a job with the given `t_min`.
+    #[must_use]
+    pub fn resolve(&self, t_min: f64) -> f64 {
+        match self {
+            Timing::Secs(secs) => *secs,
+            Timing::OfTmin(factor) => factor * t_min,
+        }
+    }
+}
+
+/// The `(τ_est, τ_kill)` pair of a reactive strategy, or just `τ_kill` for
+/// Clone (whose `τ_est` is always zero).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyTiming {
+    /// Straggler-detection instant.
+    pub tau_est: Timing,
+    /// Pruning instant.
+    pub tau_kill: Timing,
+}
+
+impl StrategyTiming {
+    /// The paper's testbed configuration: `τ_est = 40 s`, `τ_kill = 80 s`.
+    #[must_use]
+    pub fn testbed() -> Self {
+        StrategyTiming {
+            tau_est: Timing::Secs(40.0),
+            tau_kill: Timing::Secs(80.0),
+        }
+    }
+
+    /// The trace-driven sweet spot reported in Tables I/II:
+    /// `τ_est = 0.3·t_min`, `τ_kill = 0.6·t_min`.
+    #[must_use]
+    pub fn trace_default() -> Self {
+        StrategyTiming {
+            tau_est: Timing::OfTmin(0.3),
+            tau_kill: Timing::OfTmin(0.6),
+        }
+    }
+
+    /// Builds a timing pair from fractions of `t_min`.
+    #[must_use]
+    pub fn of_tmin(est: f64, kill: f64) -> Self {
+        StrategyTiming {
+            tau_est: Timing::OfTmin(est),
+            tau_kill: Timing::OfTmin(kill),
+        }
+    }
+
+    /// Builds a timing pair from absolute seconds.
+    #[must_use]
+    pub fn secs(est: f64, kill: f64) -> Self {
+        StrategyTiming {
+            tau_est: Timing::Secs(est),
+            tau_kill: Timing::Secs(kill),
+        }
+    }
+
+    /// Resolves both instants to seconds for a job with the given `t_min`.
+    #[must_use]
+    pub fn resolve(&self, t_min: f64) -> (f64, f64) {
+        (self.tau_est.resolve(t_min), self.tau_kill.resolve(t_min))
+    }
+}
+
+impl Default for StrategyTiming {
+    fn default() -> Self {
+        StrategyTiming::testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_resolve_identically() {
+        assert_eq!(Timing::Secs(42.0).resolve(20.0), 42.0);
+        assert_eq!(Timing::Secs(42.0).resolve(500.0), 42.0);
+    }
+
+    #[test]
+    fn tmin_fraction_scales() {
+        assert_eq!(Timing::OfTmin(0.5).resolve(20.0), 10.0);
+        assert_eq!(Timing::OfTmin(2.0).resolve(15.0), 30.0);
+    }
+
+    #[test]
+    fn presets() {
+        assert_eq!(StrategyTiming::testbed().resolve(20.0), (40.0, 80.0));
+        assert_eq!(StrategyTiming::trace_default().resolve(20.0), (6.0, 12.0));
+        assert_eq!(StrategyTiming::of_tmin(0.1, 0.6).resolve(10.0), (1.0, 6.0));
+        assert_eq!(StrategyTiming::secs(5.0, 9.0).resolve(10.0), (5.0, 9.0));
+        assert_eq!(StrategyTiming::default(), StrategyTiming::testbed());
+    }
+}

@@ -1,0 +1,196 @@
+//! Background contention / straggler-cause model.
+//!
+//! The testbed experiments of Section VII.A inject background load with the
+//! Stress utility so that task execution times exhibit the heavy (Pareto,
+//! `β < 2`) tail the analysis assumes. The real mechanism behind stragglers
+//! is a mix of heterogeneous hardware, co-scheduled tenants and transient
+//! hot spots; this module reproduces that effect in two ways that compose:
+//!
+//! * a **tail effect**: higher contention lowers the effective Pareto tail
+//!   index `β`, making extreme task times more likely, and
+//! * a **placement effect**: a configurable fraction of nodes is persistently
+//!   slow by a multiplicative factor (the `slowdowns` vector consumed by the
+//!   simulator's cluster spec).
+
+use chronos_core::{ChronosError, Pareto};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Intensity of background contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ContentionLevel {
+    /// No background load: light-tailed behaviour (`β ≈ 1.9`).
+    None,
+    /// Moderate background load, the default testbed emulation (`β ≈ 1.5`).
+    #[default]
+    Moderate,
+    /// Heavy background load (`β ≈ 1.2`), stressing every strategy.
+    Heavy,
+}
+
+impl ContentionLevel {
+    /// The effective Pareto tail index under this contention level.
+    #[must_use]
+    pub fn tail_index(&self) -> f64 {
+        match self {
+            ContentionLevel::None => 1.9,
+            ContentionLevel::Moderate => 1.5,
+            ContentionLevel::Heavy => 1.2,
+        }
+    }
+
+    /// The fraction of cluster nodes that are persistently slow.
+    #[must_use]
+    pub fn slow_node_fraction(&self) -> f64 {
+        match self {
+            ContentionLevel::None => 0.0,
+            ContentionLevel::Moderate => 0.1,
+            ContentionLevel::Heavy => 0.25,
+        }
+    }
+}
+
+/// The contention model: turns a contention level into the concrete
+/// parameters the simulator and workload generators consume.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Intensity of the background load.
+    pub level: ContentionLevel,
+    /// Multiplicative slowdown applied to slow nodes.
+    pub slow_factor: f64,
+    /// Seed used to place the slow nodes.
+    pub seed: u64,
+}
+
+impl ContentionModel {
+    /// Creates the model for a given level with the default slow factor.
+    #[must_use]
+    pub fn new(level: ContentionLevel, seed: u64) -> Self {
+        ContentionModel {
+            level,
+            slow_factor: 2.5,
+            seed,
+        }
+    }
+
+    /// Validates the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InvalidParameter`] when the slow factor is
+    /// not at least 1.
+    pub fn validate(&self) -> Result<(), ChronosError> {
+        if !(self.slow_factor.is_finite() && self.slow_factor >= 1.0) {
+            return Err(ChronosError::invalid(
+                "slow_factor",
+                self.slow_factor,
+                "a finite value >= 1",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The task-time distribution a workload with minimum task time `t_min`
+    /// exhibits under this contention level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid `t_min` values.
+    pub fn task_time_distribution(&self, t_min: f64) -> Result<Pareto, ChronosError> {
+        Pareto::new(t_min, self.level.tail_index())
+    }
+
+    /// Per-node slowdown factors for a cluster of `nodes` machines: slow
+    /// nodes get `slow_factor`, the rest 1.0. Placement is deterministic in
+    /// the seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`validate`](Self::validate) failures.
+    pub fn node_slowdowns(&self, nodes: u32) -> Result<Vec<f64>, ChronosError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let fraction = self.level.slow_node_fraction();
+        Ok((0..nodes)
+            .map(|_| {
+                if rng.gen_bool(fraction) {
+                    self.slow_factor
+                } else {
+                    1.0
+                }
+            })
+            .collect())
+    }
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        ContentionModel::new(ContentionLevel::Moderate, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_index_decreases_with_contention() {
+        assert!(ContentionLevel::None.tail_index() > ContentionLevel::Moderate.tail_index());
+        assert!(ContentionLevel::Moderate.tail_index() > ContentionLevel::Heavy.tail_index());
+        // All levels are in the β < 2 regime the paper observes.
+        for level in [
+            ContentionLevel::None,
+            ContentionLevel::Moderate,
+            ContentionLevel::Heavy,
+        ] {
+            assert!(level.tail_index() < 2.0);
+            assert!(level.tail_index() > 1.0);
+        }
+    }
+
+    #[test]
+    fn distribution_uses_level_tail() {
+        let model = ContentionModel::new(ContentionLevel::Heavy, 1);
+        let dist = model.task_time_distribution(20.0).unwrap();
+        assert_eq!(dist.beta(), 1.2);
+        assert_eq!(dist.t_min(), 20.0);
+        assert!(model.task_time_distribution(0.0).is_err());
+    }
+
+    #[test]
+    fn slowdowns_match_level_fraction() {
+        let model = ContentionModel::new(ContentionLevel::Heavy, 3);
+        let slowdowns = model.node_slowdowns(2_000).unwrap();
+        assert_eq!(slowdowns.len(), 2_000);
+        let slow = slowdowns.iter().filter(|s| **s > 1.0).count() as f64 / 2_000.0;
+        assert!((slow - 0.25).abs() < 0.05, "slow fraction {slow}");
+        assert!(slowdowns.iter().all(|s| *s == 1.0 || *s == 2.5));
+    }
+
+    #[test]
+    fn no_contention_means_no_slow_nodes() {
+        let model = ContentionModel::new(ContentionLevel::None, 3);
+        let slowdowns = model.node_slowdowns(500).unwrap();
+        assert!(slowdowns.iter().all(|s| *s == 1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ContentionModel::new(ContentionLevel::Moderate, 9)
+            .node_slowdowns(100)
+            .unwrap();
+        let b = ContentionModel::new(ContentionLevel::Moderate, 9)
+            .node_slowdowns(100)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn validation_rejects_sub_unit_slowdown() {
+        let mut model = ContentionModel::default();
+        model.slow_factor = 0.5;
+        assert!(model.validate().is_err());
+        assert!(model.node_slowdowns(10).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # chronos-trace
+//!
+//! Workload and environment models for the Chronos evaluation:
+//!
+//! * [`workload`] — the four testbed benchmarks (Sort, SecondarySort,
+//!   TeraSort, WordCount) and the Figure 2 job mix,
+//! * [`google`] — a synthetic Google-cluster-trace-style generator standing
+//!   in for the 30-hour, 2 700-job trace of Figures 3–5,
+//! * [`pricing`] — fixed and EC2-spot-like price models,
+//! * [`contention`] — the background-load model that produces the heavy
+//!   (Pareto, `β < 2`) task-time tails and persistent slow nodes.
+//!
+//! Each substitution for data the paper used but which cannot be
+//! redistributed (EC2 spot history, the Google trace, Stress-injected noise)
+//! is documented in `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use chronos_trace::prelude::*;
+//!
+//! # fn main() -> Result<(), chronos_core::ChronosError> {
+//! let workload = TestbedWorkload::paper_setup(Benchmark::Sort, 42).with_jobs(5);
+//! let jobs = workload.generate()?;
+//! assert_eq!(jobs.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod contention;
+pub mod google;
+pub mod pricing;
+pub mod workload;
+
+pub mod prelude;
+
+pub use contention::{ContentionLevel, ContentionModel};
+pub use google::{GoogleTraceConfig, SyntheticTrace};
+pub use pricing::{PriceModel, PricePath};
+pub use workload::{Benchmark, TestbedWorkload};

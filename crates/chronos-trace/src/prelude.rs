@@ -1,0 +1,6 @@
+//! Convenience re-exports for workload construction.
+
+pub use crate::contention::{ContentionLevel, ContentionModel};
+pub use crate::google::{GoogleTraceConfig, SyntheticTrace};
+pub use crate::pricing::{PriceModel, PricePath};
+pub use crate::workload::{Benchmark, TestbedWorkload};

@@ -1,0 +1,296 @@
+//! Spot-price models.
+//!
+//! The paper prices machine time with "a fixed price per unit VM time that
+//! is obtained by Amazon EC2 average spot price" for the testbed runs and
+//! uses "spot instance price history from Amazon EC2" for the trace-driven
+//! simulation. Spot-price history is not redistributable, so this module
+//! provides two substitutes documented in DESIGN.md:
+//!
+//! * [`PriceModel::Fixed`] — a constant price, matching the testbed usage,
+//! * [`PriceModel::MeanReverting`] — a clamped AR(1) (discrete
+//!   Ornstein–Uhlenbeck) process whose mean, volatility and reversion rate
+//!   are configurable, reproducing the qualitative behaviour of EC2 spot
+//!   prices (fluctuation around a long-run mean with occasional spikes).
+
+use chronos_core::ChronosError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A per-unit-time VM price source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PriceModel {
+    /// A constant price (the paper's testbed setting).
+    Fixed {
+        /// Price per unit VM time.
+        price: f64,
+    },
+    /// A mean-reverting stochastic price path sampled on a fixed grid.
+    MeanReverting {
+        /// Long-run mean price.
+        mean: f64,
+        /// Reversion rate per step, in `(0, 1]`.
+        reversion: f64,
+        /// Per-step volatility (standard deviation of the shock).
+        volatility: f64,
+        /// Grid resolution in seconds.
+        step_secs: f64,
+        /// Seed for the price path.
+        seed: u64,
+    },
+}
+
+impl PriceModel {
+    /// The fixed price used throughout the testbed experiments.
+    #[must_use]
+    pub fn fixed(price: f64) -> Self {
+        PriceModel::Fixed { price }
+    }
+
+    /// An EC2-like spot price path around `mean`.
+    #[must_use]
+    pub fn ec2_like(mean: f64, seed: u64) -> Self {
+        PriceModel::MeanReverting {
+            mean,
+            reversion: 0.1,
+            volatility: 0.05 * mean,
+            step_secs: 300.0,
+            seed,
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InvalidParameter`] for non-positive prices,
+    /// volatilities, steps or a reversion rate outside `(0, 1]`.
+    pub fn validate(&self) -> Result<(), ChronosError> {
+        match self {
+            PriceModel::Fixed { price } => {
+                if !(price.is_finite() && *price >= 0.0) {
+                    return Err(ChronosError::invalid("price", *price, "a finite value >= 0"));
+                }
+            }
+            PriceModel::MeanReverting {
+                mean,
+                reversion,
+                volatility,
+                step_secs,
+                ..
+            } => {
+                if !(mean.is_finite() && *mean > 0.0) {
+                    return Err(ChronosError::invalid("mean", *mean, "a finite value > 0"));
+                }
+                if !(*reversion > 0.0 && *reversion <= 1.0) {
+                    return Err(ChronosError::invalid(
+                        "reversion",
+                        *reversion,
+                        "a value in (0, 1]",
+                    ));
+                }
+                if !(volatility.is_finite() && *volatility >= 0.0) {
+                    return Err(ChronosError::invalid(
+                        "volatility",
+                        *volatility,
+                        "a finite value >= 0",
+                    ));
+                }
+                if !(step_secs.is_finite() && *step_secs > 0.0) {
+                    return Err(ChronosError::invalid(
+                        "step_secs",
+                        *step_secs,
+                        "a finite value > 0",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the price path over `[0, horizon_secs]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`validate`](Self::validate) failures.
+    pub fn sample_path(&self, horizon_secs: f64) -> Result<PricePath, ChronosError> {
+        self.validate()?;
+        match self {
+            PriceModel::Fixed { price } => Ok(PricePath {
+                step_secs: horizon_secs.max(1.0),
+                prices: vec![*price],
+            }),
+            PriceModel::MeanReverting {
+                mean,
+                reversion,
+                volatility,
+                step_secs,
+                seed,
+            } => {
+                let steps = (horizon_secs / step_secs).ceil().max(1.0) as usize + 1;
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut prices = Vec::with_capacity(steps);
+                let mut current = *mean;
+                let floor = 0.1 * mean;
+                for _ in 0..steps {
+                    prices.push(current);
+                    // Symmetric triangular-ish shock from two uniforms keeps
+                    // the path bounded without needing a Gaussian sampler.
+                    let shock: f64 = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+                    current += reversion * (mean - current) + volatility * shock * 0.5;
+                    if current < floor {
+                        current = floor;
+                    }
+                }
+                Ok(PricePath {
+                    step_secs: *step_secs,
+                    prices,
+                })
+            }
+        }
+    }
+}
+
+impl Default for PriceModel {
+    /// A unit fixed price, so cost equals machine time unless configured
+    /// otherwise.
+    fn default() -> Self {
+        PriceModel::fixed(1.0)
+    }
+}
+
+/// A materialized price path sampled on a regular grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PricePath {
+    step_secs: f64,
+    prices: Vec<f64>,
+}
+
+impl PricePath {
+    /// The price in effect at `t_secs` (clamped to the path's range).
+    #[must_use]
+    pub fn price_at(&self, t_secs: f64) -> f64 {
+        if self.prices.is_empty() {
+            return 0.0;
+        }
+        let index = if t_secs <= 0.0 {
+            0
+        } else {
+            ((t_secs / self.step_secs) as usize).min(self.prices.len() - 1)
+        };
+        self.prices[index]
+    }
+
+    /// Mean price over the whole path.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.prices.is_empty() {
+            return 0.0;
+        }
+        self.prices.iter().sum::<f64>() / self.prices.len() as f64
+    }
+
+    /// Minimum and maximum price over the path.
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        let min = self.prices.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.prices.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (min, max)
+    }
+
+    /// Number of grid points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// True when the path has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_price_is_constant() {
+        let path = PriceModel::fixed(0.05).sample_path(10_000.0).unwrap();
+        assert_eq!(path.price_at(0.0), 0.05);
+        assert_eq!(path.price_at(9_999.0), 0.05);
+        assert_eq!(path.mean(), 0.05);
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(PriceModel::fixed(-1.0).validate().is_err());
+        assert!(PriceModel::MeanReverting {
+            mean: 0.0,
+            reversion: 0.1,
+            volatility: 0.1,
+            step_secs: 60.0,
+            seed: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(PriceModel::MeanReverting {
+            mean: 1.0,
+            reversion: 0.0,
+            volatility: 0.1,
+            step_secs: 60.0,
+            seed: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(PriceModel::MeanReverting {
+            mean: 1.0,
+            reversion: 0.5,
+            volatility: -0.1,
+            step_secs: 60.0,
+            seed: 0,
+        }
+        .validate()
+        .is_err());
+        assert!(PriceModel::MeanReverting {
+            mean: 1.0,
+            reversion: 0.5,
+            volatility: 0.1,
+            step_secs: 0.0,
+            seed: 0,
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn mean_reverting_path_stays_near_mean() {
+        let model = PriceModel::ec2_like(0.1, 7);
+        let path = model.sample_path(3600.0 * 30.0).unwrap();
+        assert!(path.len() > 100);
+        let (min, max) = path.range();
+        assert!(min > 0.0);
+        assert!(max < 0.5, "max {max}");
+        assert!((path.mean() - 0.1).abs() < 0.05, "mean {}", path.mean());
+    }
+
+    #[test]
+    fn path_is_deterministic_per_seed() {
+        let a = PriceModel::ec2_like(0.1, 3).sample_path(10_000.0).unwrap();
+        let b = PriceModel::ec2_like(0.1, 3).sample_path(10_000.0).unwrap();
+        let c = PriceModel::ec2_like(0.1, 4).sample_path(10_000.0).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn price_lookup_clamps_to_range() {
+        let path = PriceModel::ec2_like(0.2, 1).sample_path(1_000.0).unwrap();
+        assert_eq!(path.price_at(-5.0), path.price_at(0.0));
+        // Far beyond the horizon: last grid point.
+        let last = path.price_at(1e9);
+        assert!(last > 0.0);
+        assert!(!path.is_empty());
+    }
+}

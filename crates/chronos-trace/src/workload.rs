@@ -1,0 +1,312 @@
+//! Benchmark workload models for the testbed experiments (Figure 2).
+//!
+//! The paper evaluates the map phases of four classic MapReduce benchmarks
+//! on 1.2 GB inputs: **Sort** and **SecondarySort** (I/O bound) and
+//! **TeraSort** and **WordCount** (CPU bound in the map phase). Deadlines
+//! are 100 s for Sort/TeraSort and 150 s for SecondarySort/WordCount. This
+//! module models each benchmark as a per-task service profile (minimum task
+//! time and split-size spread) and generates the 100-job, 10-task workload
+//! used in Figure 2.
+
+use crate::contention::ContentionModel;
+use chronos_core::ChronosError;
+use chronos_sim::prelude::{JobId, JobSpec, SimTime, TaskSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The four benchmarks of Section VII.A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// Sort — I/O bound, RandomWriter-generated input.
+    Sort,
+    /// SecondarySort — I/O bound, random number-pair input.
+    SecondarySort,
+    /// TeraSort — CPU-bound map phase, TeraGen-generated input.
+    TeraSort,
+    /// WordCount — CPU bound.
+    WordCount,
+}
+
+impl Benchmark {
+    /// All four benchmarks in the order the paper plots them.
+    pub const ALL: [Benchmark; 4] = [
+        Benchmark::Sort,
+        Benchmark::SecondarySort,
+        Benchmark::TeraSort,
+        Benchmark::WordCount,
+    ];
+
+    /// Short label used in experiment output.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Benchmark::Sort => "sort",
+            Benchmark::SecondarySort => "secondary-sort",
+            Benchmark::TeraSort => "terasort",
+            Benchmark::WordCount => "wordcount",
+        }
+    }
+
+    /// Whether the benchmark's map phase is I/O bound (as opposed to CPU
+    /// bound).
+    #[must_use]
+    pub fn io_bound(&self) -> bool {
+        matches!(self, Benchmark::Sort | Benchmark::SecondarySort)
+    }
+
+    /// The deadline the paper assigns to this benchmark's jobs (seconds).
+    #[must_use]
+    pub fn deadline_secs(&self) -> f64 {
+        match self {
+            Benchmark::Sort | Benchmark::TeraSort => 100.0,
+            Benchmark::SecondarySort | Benchmark::WordCount => 150.0,
+        }
+    }
+
+    /// Minimum map-task execution time (seconds) on an uncontended container
+    /// for the 1.2 GB / 10-split configuration. I/O-bound benchmarks stream
+    /// their splits faster than the CPU-bound ones; SecondarySort and
+    /// WordCount carry more per-record work, which is why the paper gives
+    /// them the looser 150 s deadline.
+    #[must_use]
+    pub fn t_min_secs(&self) -> f64 {
+        match self {
+            Benchmark::Sort => 20.0,
+            Benchmark::TeraSort => 24.0,
+            Benchmark::SecondarySort => 32.0,
+            Benchmark::WordCount => 36.0,
+        }
+    }
+
+    /// Relative spread of split sizes (± fraction around the nominal split):
+    /// synthetic inputs (RandomWriter/TeraGen) are uniform, text inputs less
+    /// so.
+    #[must_use]
+    pub fn split_spread(&self) -> f64 {
+        match self {
+            Benchmark::Sort | Benchmark::TeraSort | Benchmark::SecondarySort => 0.02,
+            Benchmark::WordCount => 0.10,
+        }
+    }
+}
+
+/// Configuration of the Figure 2 testbed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestbedWorkload {
+    /// The benchmark being run.
+    pub benchmark: Benchmark,
+    /// Number of jobs (the paper executes 100).
+    pub jobs: u32,
+    /// Tasks per job (the paper uses 10).
+    pub tasks_per_job: u32,
+    /// Mean inter-arrival gap between consecutive jobs, seconds.
+    pub mean_interarrival_secs: f64,
+    /// Per-unit-time VM price.
+    pub price: f64,
+    /// Background contention model (sets the Pareto tail index).
+    pub contention: ContentionModel,
+    /// Seed for arrivals and split-size jitter.
+    pub seed: u64,
+}
+
+impl TestbedWorkload {
+    /// The paper's setup for a benchmark: 100 jobs of 10 tasks.
+    #[must_use]
+    pub fn paper_setup(benchmark: Benchmark, seed: u64) -> Self {
+        TestbedWorkload {
+            benchmark,
+            jobs: 100,
+            tasks_per_job: 10,
+            mean_interarrival_secs: 30.0,
+            price: 1.0,
+            contention: ContentionModel::default(),
+            seed,
+        }
+    }
+
+    /// Scales the number of jobs (useful for quick smoke runs).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: u32) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChronosError::InvalidParameter`] for empty workloads or
+    /// non-positive arrival gaps or prices.
+    pub fn validate(&self) -> Result<(), ChronosError> {
+        if self.jobs == 0 {
+            return Err(ChronosError::invalid("jobs", 0.0, "at least one job"));
+        }
+        if self.tasks_per_job == 0 {
+            return Err(ChronosError::invalid(
+                "tasks_per_job",
+                0.0,
+                "at least one task",
+            ));
+        }
+        if !(self.mean_interarrival_secs.is_finite() && self.mean_interarrival_secs >= 0.0) {
+            return Err(ChronosError::invalid(
+                "mean_interarrival_secs",
+                self.mean_interarrival_secs,
+                "a finite value >= 0",
+            ));
+        }
+        if !(self.price.is_finite() && self.price >= 0.0) {
+            return Err(ChronosError::invalid("price", self.price, "a finite value >= 0"));
+        }
+        self.contention.validate()
+    }
+
+    /// Generates the job specifications for this workload, with job ids
+    /// starting at `first_job_id`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and distribution-construction failures.
+    pub fn generate_from(&self, first_job_id: u64) -> Result<Vec<JobSpec>, ChronosError> {
+        self.validate()?;
+        let profile = self
+            .contention
+            .task_time_distribution(self.benchmark.t_min_secs())?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let spread = self.benchmark.split_spread();
+        let mut arrival = 0.0f64;
+        let mut specs = Vec::with_capacity(self.jobs as usize);
+        for index in 0..self.jobs {
+            // Exponential inter-arrivals via inverse CDF keeps the generator
+            // dependency-light and deterministic.
+            if index > 0 && self.mean_interarrival_secs > 0.0 {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                arrival += -self.mean_interarrival_secs * u.ln();
+            }
+            let tasks = (0..self.tasks_per_job)
+                .map(|_| {
+                    let jitter = if spread > 0.0 {
+                        rng.gen_range(-spread..=spread)
+                    } else {
+                        0.0
+                    };
+                    TaskSpec::sized(1.0 + jitter)
+                })
+                .collect();
+            specs.push(
+                JobSpec::new(
+                    JobId::new(first_job_id + u64::from(index)),
+                    SimTime::from_secs(arrival),
+                    self.benchmark.deadline_secs(),
+                    self.tasks_per_job as usize,
+                )
+                .with_profile(profile)
+                .with_price(self.price)
+                .with_tasks(tasks),
+            );
+        }
+        Ok(specs)
+    }
+
+    /// Generates the job specifications with ids starting at zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation and distribution-construction failures.
+    pub fn generate(&self) -> Result<Vec<JobSpec>, ChronosError> {
+        self.generate_from(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::ContentionLevel;
+
+    #[test]
+    fn benchmark_properties_match_paper() {
+        assert_eq!(Benchmark::Sort.deadline_secs(), 100.0);
+        assert_eq!(Benchmark::TeraSort.deadline_secs(), 100.0);
+        assert_eq!(Benchmark::SecondarySort.deadline_secs(), 150.0);
+        assert_eq!(Benchmark::WordCount.deadline_secs(), 150.0);
+        assert!(Benchmark::Sort.io_bound());
+        assert!(Benchmark::SecondarySort.io_bound());
+        assert!(!Benchmark::TeraSort.io_bound());
+        assert!(!Benchmark::WordCount.io_bound());
+        assert_eq!(Benchmark::ALL.len(), 4);
+        let labels: std::collections::HashSet<&str> =
+            Benchmark::ALL.iter().map(Benchmark::label).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn paper_setup_generates_100_jobs_of_10_tasks() {
+        let workload = TestbedWorkload::paper_setup(Benchmark::Sort, 1);
+        let specs = workload.generate().unwrap();
+        assert_eq!(specs.len(), 100);
+        assert!(specs.iter().all(|s| s.task_count() == 10));
+        assert!(specs.iter().all(|s| s.deadline_secs == 100.0));
+        // Arrivals are sorted and start at zero.
+        assert_eq!(specs[0].submit_time, SimTime::ZERO);
+        for pair in specs.windows(2) {
+            assert!(pair[1].submit_time >= pair[0].submit_time);
+        }
+    }
+
+    #[test]
+    fn job_ids_are_unique_and_offset() {
+        let workload = TestbedWorkload::paper_setup(Benchmark::WordCount, 2).with_jobs(10);
+        let specs = workload.generate_from(500).unwrap();
+        let ids: std::collections::HashSet<u64> = specs.iter().map(|s| s.id.raw()).collect();
+        assert_eq!(ids.len(), 10);
+        assert!(ids.contains(&500));
+        assert!(ids.contains(&509));
+    }
+
+    #[test]
+    fn contention_sets_tail_index() {
+        let mut workload = TestbedWorkload::paper_setup(Benchmark::Sort, 3).with_jobs(1);
+        workload.contention = ContentionModel::new(ContentionLevel::Heavy, 0);
+        let specs = workload.generate().unwrap();
+        assert_eq!(specs[0].profile.beta(), 1.2);
+        assert_eq!(specs[0].profile.t_min(), Benchmark::Sort.t_min_secs());
+    }
+
+    #[test]
+    fn split_jitter_respects_spread() {
+        let workload = TestbedWorkload::paper_setup(Benchmark::WordCount, 4).with_jobs(5);
+        let specs = workload.generate().unwrap();
+        for spec in &specs {
+            for task in &spec.tasks {
+                assert!(task.size_factor >= 0.9 - 1e-9);
+                assert!(task.size_factor <= 1.1 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TestbedWorkload::paper_setup(Benchmark::TeraSort, 5).generate().unwrap();
+        let b = TestbedWorkload::paper_setup(Benchmark::TeraSort, 5).generate().unwrap();
+        let c = TestbedWorkload::paper_setup(Benchmark::TeraSort, 6).generate().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn validation_failures() {
+        let mut workload = TestbedWorkload::paper_setup(Benchmark::Sort, 0);
+        workload.jobs = 0;
+        assert!(workload.generate().is_err());
+        let mut workload = TestbedWorkload::paper_setup(Benchmark::Sort, 0);
+        workload.tasks_per_job = 0;
+        assert!(workload.validate().is_err());
+        let mut workload = TestbedWorkload::paper_setup(Benchmark::Sort, 0);
+        workload.price = -1.0;
+        assert!(workload.validate().is_err());
+        let mut workload = TestbedWorkload::paper_setup(Benchmark::Sort, 0);
+        workload.mean_interarrival_secs = f64::NAN;
+        assert!(workload.validate().is_err());
+    }
+}

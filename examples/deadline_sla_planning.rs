@@ -1,0 +1,67 @@
+//! Deadline / SLA planning: given a PoCD target from an SLA (say 99 %),
+//! find the cheapest configuration that meets it, and conversely find the
+//! best PoCD attainable under a fixed machine-time budget.
+//!
+//! This is the planning use-case Section V motivates: "for a given target
+//! PoCD (e.g., as specified in the SLAs), users can select the corresponding
+//! scheduling strategy and optimize its parameters".
+//!
+//! Run with `cargo run --example deadline_sla_planning`.
+
+use chronos::prelude::*;
+
+fn main() -> Result<(), ChronosError> {
+    let job = JobProfile::builder()
+        .tasks(50)
+        .t_min(20.0)
+        .beta(1.4)
+        .deadline(120.0)
+        .build()?;
+
+    let strategies = vec![
+        ("Clone", StrategyParams::clone_strategy(40.0)),
+        ("Speculative-Restart", StrategyParams::restart(12.0, 40.0)?),
+        ("Speculative-Resume", StrategyParams::resume(12.0, 40.0, 0.2)?),
+    ];
+
+    let sla_target = 0.99;
+    let budget_vm_seconds = 4_000.0;
+
+    println!("SLA target: PoCD >= {sla_target}");
+    println!("{:<24}{:>8}{:>12}{:>16}", "strategy", "r", "PoCD", "cost (VM-s)");
+    for (name, params) in &strategies {
+        let frontier = Frontier::sweep(&job, params, 12)?;
+        match frontier.cheapest_for_pocd(sla_target) {
+            Some(point) => println!(
+                "{:<24}{:>8}{:>12.4}{:>16.1}",
+                *name, point.r, point.pocd, point.machine_time
+            ),
+            None => println!("{:<24}{:>8}{:>12}{:>16}", *name, "-", "unreachable", "-"),
+        }
+    }
+
+    println!("\nBudget: {budget_vm_seconds} VM-seconds per job");
+    println!("{:<24}{:>8}{:>12}{:>16}", "strategy", "r", "PoCD", "cost (VM-s)");
+    for (name, params) in &strategies {
+        let frontier = Frontier::sweep(&job, params, 12)?;
+        match frontier.best_pocd_within_budget(budget_vm_seconds) {
+            Some(point) => println!(
+                "{:<24}{:>8}{:>12.4}{:>16.1}",
+                *name, point.r, point.pocd, point.machine_time
+            ),
+            None => println!("{:<24}{:>8}{:>12}{:>16}", *name, "-", "over budget", "-"),
+        }
+    }
+
+    // How the minimum r needed for the SLA grows as the deadline tightens.
+    println!("\nminimum r meeting the SLA as the deadline tightens (Speculative-Resume):");
+    for deadline in [200.0, 160.0, 120.0, 90.0, 70.0] {
+        let job = job.with_deadline(deadline)?;
+        let model = PocdModel::new(job, StrategyParams::resume(12.0, 40.0, 0.2)?)?;
+        match model.min_r_for_target(sla_target)? {
+            Some(r) => println!("  deadline {deadline:>5.0} s -> r = {r}"),
+            None => println!("  deadline {deadline:>5.0} s -> unreachable"),
+        }
+    }
+    Ok(())
+}

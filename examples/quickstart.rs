@@ -1,0 +1,64 @@
+//! Quickstart: optimize the number of speculative attempts for one job and
+//! inspect the PoCD / cost tradeoff behind that choice.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use chronos::prelude::*;
+
+fn main() -> Result<(), ChronosError> {
+    // A deadline-critical MapReduce job: 10 map tasks, minimum task time
+    // 20 s, heavy-tailed (Pareto, β = 1.5) execution times, 100 s deadline.
+    let job = JobProfile::builder()
+        .tasks(10)
+        .t_min(20.0)
+        .beta(1.5)
+        .deadline(100.0)
+        .price(1.0)
+        .build()?;
+
+    println!("deadline-miss probability of a single attempt: {:.3}", {
+        let model = PocdModel::new(job, StrategyParams::clone_strategy(80.0))?;
+        model.original_miss_probability()
+    });
+
+    // The three Chronos strategies with the paper's testbed timing.
+    let strategies = vec![
+        StrategyParams::clone_strategy(80.0),
+        StrategyParams::restart(40.0, 80.0)?,
+        StrategyParams::resume(40.0, 80.0, 0.3)?,
+    ];
+
+    // θ = 1e-4: the testbed tradeoff between PoCD and machine-time cost.
+    let optimizer = Optimizer::new(UtilityModel::new(1e-4, 0.0)?);
+    println!("\n{:<22}{:>6}{:>10}{:>14}{:>12}", "strategy", "r*", "PoCD", "E[T] (VM-s)", "utility");
+    for params in &strategies {
+        let outcome = optimizer.optimize(&job, params)?;
+        println!(
+            "{:<22}{:>6}{:>10.4}{:>14.1}{:>12.4}",
+            outcome.strategy.to_string(),
+            outcome.r,
+            outcome.pocd,
+            outcome.machine_time,
+            outcome.utility
+        );
+    }
+
+    // The full PoCD/cost frontier for Speculative-Resume: what each extra
+    // attempt buys and what it costs.
+    let frontier = Frontier::sweep(&job, &strategies[2], 6)?;
+    println!("\nSpeculative-Resume frontier:");
+    for point in frontier.iter() {
+        println!(
+            "  r = {}: PoCD {:.4}, machine time {:>7.1} s",
+            point.r, point.pocd, point.machine_time
+        );
+    }
+
+    // And the ranking across strategies, best net utility first.
+    let ranked = optimizer.rank_strategies(&job, &strategies)?;
+    println!(
+        "\nbest strategy for this job: {} with r = {}",
+        ranked[0].strategy, ranked[0].r
+    );
+    Ok(())
+}

@@ -34,11 +34,9 @@ fn bench_hybrid_vs_exhaustive(c: &mut Criterion) {
     let profile = job(100);
     let mut group = c.benchmark_group("optimizer");
     for (label, params) in strategies() {
-        group.bench_with_input(
-            BenchmarkId::new("hybrid", label),
-            &params,
-            |b, params| b.iter(|| optimizer.optimize(&profile, params).expect("feasible")),
-        );
+        group.bench_with_input(BenchmarkId::new("hybrid", label), &params, |b, params| {
+            b.iter(|| optimizer.optimize(&profile, params).expect("feasible"))
+        });
         group.bench_with_input(
             BenchmarkId::new("exhaustive", label),
             &params,
@@ -60,9 +58,11 @@ fn bench_job_size_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimizer-scaling");
     for tasks in [10u32, 100, 1_000, 10_000] {
         let profile = job(tasks);
-        group.bench_with_input(BenchmarkId::from_parameter(tasks), &profile, |b, profile| {
-            b.iter(|| optimizer.optimize(profile, &params).expect("feasible"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tasks),
+            &profile,
+            |b, profile| b.iter(|| optimizer.optimize(profile, &params).expect("feasible")),
+        );
     }
     group.finish();
 }

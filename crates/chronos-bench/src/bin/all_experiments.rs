@@ -37,7 +37,15 @@ fn main() {
             }
             None => {
                 let mut c = Command::new("cargo");
-                c.args(["run", "--quiet", "-p", "chronos-bench", "--bin", binary, "--"]);
+                c.args([
+                    "run",
+                    "--quiet",
+                    "-p",
+                    "chronos-bench",
+                    "--bin",
+                    binary,
+                    "--",
+                ]);
                 c.args(&forward);
                 c
             }

@@ -72,7 +72,11 @@ fn main() {
             .collect()
     };
 
-    print_table("Figure 3(a): PoCD vs theta", &policies, &table_for(&|c| c.pocd));
+    print_table(
+        "Figure 3(a): PoCD vs theta",
+        &policies,
+        &table_for(&|c| c.pocd),
+    );
     print_table(
         "Figure 3(b): Cost vs theta (VM-seconds per job)",
         &policies,

@@ -74,7 +74,11 @@ fn main() {
             .collect()
     };
 
-    print_table("Figure 4(a): PoCD vs beta", &policies, &table_for(&|c| c.pocd));
+    print_table(
+        "Figure 4(a): PoCD vs beta",
+        &policies,
+        &table_for(&|c| c.pocd),
+    );
     print_table(
         "Figure 4(b): Cost vs beta (VM-seconds per job)",
         &policies,

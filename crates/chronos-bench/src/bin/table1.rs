@@ -77,12 +77,8 @@ fn main() {
     ] {
         for est in [0.1, 0.3, 0.5] {
             let kill = est + 0.5;
-            let (pocd, cost, utility) = run_strategy(
-                kind,
-                StrategyTiming::of_tmin(est, kill),
-                &jobs,
-                theta,
-            );
+            let (pocd, cost, utility) =
+                run_strategy(kind, StrategyTiming::of_tmin(est, kill), &jobs, theta);
             rows.push(Row::new(
                 format!("{label}  ({est:.1}·tmin, {kill:.1}·tmin)"),
                 vec![pocd, cost, utility],

@@ -58,12 +58,8 @@ fn main() {
         ("S-Resume", StrategyKind::SpeculativeResume, 0.3),
     ] {
         for kill in [0.4, 0.6, 0.8] {
-            let (pocd, cost, utility) = run_strategy(
-                kind,
-                StrategyTiming::of_tmin(est, kill),
-                &jobs,
-                theta,
-            );
+            let (pocd, cost, utility) =
+                run_strategy(kind, StrategyTiming::of_tmin(est, kill), &jobs, theta);
             rows.push(Row::new(
                 format!("{label}  ({est:.1}·tmin, {kill:.1}·tmin)"),
                 vec![pocd, cost, utility],

@@ -86,8 +86,12 @@ fn simulated(kind: StrategyKind, r: u32, jobs: u32) -> (f64, f64) {
         StrategyKind::SpeculativeRestart => Box::new(RestartPolicy::new(config)),
         StrategyKind::SpeculativeResume => Box::new(ResumePolicy::new(config)),
     };
-    let report = run_policy(&sim_config(97 + u64::from(r)), policy, validation_jobs(jobs, u64::from(r)))
-        .expect("simulation");
+    let report = run_policy(
+        &sim_config(97 + u64::from(r)),
+        policy,
+        validation_jobs(jobs, u64::from(r)),
+    )
+    .expect("simulation");
     (report.pocd(), report.mean_machine_time())
 }
 
@@ -167,7 +171,10 @@ fn main() {
     print_table(
         "Estimator ablation (Eq. 30): mean |estimate - actual| in seconds",
         &["Hadoop default", "Chronos (Eq. 30)"],
-        &[Row::new("completion-time error", vec![hadoop_err, chronos_err])],
+        &[Row::new(
+            "completion-time error",
+            vec![hadoop_err, chronos_err],
+        )],
     );
 
     match write_json("validate_analysis.json", &records) {

@@ -355,13 +355,8 @@ mod tests {
             };
             orig * extra
         };
-        let tail = crate::numeric::integrate_tail(
-            survival_product,
-            t_min,
-            beta * (r + 1.0),
-            1e-12,
-        )
-        .unwrap();
+        let tail = crate::numeric::integrate_tail(survival_product, t_min, beta * (r + 1.0), 1e-12)
+            .unwrap();
         let expected_w_all = t_min + tail;
         let late = tau_est + r * (tau_kill - tau_est) + expected_w_all;
         let manual = on_time * (1.0 - p_miss) + late * p_miss;
@@ -383,10 +378,7 @@ mod tests {
             let dist = Pareto::new(t_min, beta).unwrap();
             let on_time = dist.conditional_mean_below(d).unwrap();
             let nb = beta * (rf + 1.0);
-            let late = 40.0
-                + rf * 40.0
-                + t_min * (1.0 - phi).powf(nb) / (nb - 1.0)
-                + t_min;
+            let late = 40.0 + rf * 40.0 + t_min * (1.0 - phi).powf(nb) / (nb - 1.0) + t_min;
             let expected = 10.0 * (on_time * (1.0 - p_miss) + late * p_miss);
             let got = m.expected_job_machine_time(rf).unwrap();
             assert!(approx_eq(got, expected, 1e-9, 1e-12), "r={r}");

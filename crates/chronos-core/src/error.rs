@@ -75,7 +75,10 @@ impl fmt::Display for ChronosError {
                 name,
                 value,
                 expected,
-            } => write!(f, "invalid parameter `{name}` = {value}; expected {expected}"),
+            } => write!(
+                f,
+                "invalid parameter `{name}` = {value}; expected {expected}"
+            ),
             ChronosError::InconsistentParameters { detail } => {
                 write!(f, "inconsistent parameters: {detail}")
             }

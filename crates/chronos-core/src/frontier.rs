@@ -144,8 +144,7 @@ impl Frontier {
         for candidate in &self.points {
             let dominated = self.points.iter().any(|other| {
                 (other.pocd > candidate.pocd && other.machine_time <= candidate.machine_time)
-                    || (other.pocd >= candidate.pocd
-                        && other.machine_time < candidate.machine_time)
+                    || (other.pocd >= candidate.pocd && other.machine_time < candidate.machine_time)
             });
             if !dominated {
                 efficient.push(*candidate);
@@ -190,12 +189,8 @@ mod tests {
 
     #[test]
     fn pocd_is_monotone_along_sweep() {
-        let f = Frontier::sweep(
-            &job(),
-            &StrategyParams::resume(40.0, 80.0, 0.3).unwrap(),
-            8,
-        )
-        .unwrap();
+        let f =
+            Frontier::sweep(&job(), &StrategyParams::resume(40.0, 80.0, 0.3).unwrap(), 8).unwrap();
         for pair in f.points().windows(2) {
             assert!(pair[1].pocd >= pair[0].pocd);
         }

@@ -67,7 +67,11 @@ impl OptimizerConfig {
             return Err(ChronosError::invalid("eta", self.eta, "a finite value > 0"));
         }
         if !(self.alpha > 0.0 && self.alpha < 1.0) {
-            return Err(ChronosError::invalid("alpha", self.alpha, "a value in (0, 1)"));
+            return Err(ChronosError::invalid(
+                "alpha",
+                self.alpha,
+                "a value in (0, 1)",
+            ));
         }
         if !(self.xi > 0.0 && self.xi < 1.0) {
             return Err(ChronosError::invalid("xi", self.xi, "a value in (0, 1)"));
@@ -274,7 +278,11 @@ impl Optimizer {
                 "every candidate strategy is infeasible for this job",
             ));
         }
-        outcomes.sort_by(|a, b| b.utility.partial_cmp(&a.utility).unwrap_or(std::cmp::Ordering::Equal));
+        outcomes.sort_by(|a, b| {
+            b.utility
+                .partial_cmp(&a.utility)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         Ok(outcomes)
     }
 
@@ -302,9 +310,8 @@ impl Optimizer {
                 }
             }
         }
-        let (r, utility) = best.ok_or_else(|| {
-            ChronosError::infeasible("no feasible r found by exhaustive search")
-        })?;
+        let (r, utility) = best
+            .ok_or_else(|| ChronosError::infeasible("no feasible r found by exhaustive search"))?;
         Ok(OptimizationOutcome {
             strategy: params.kind(),
             r,
@@ -470,7 +477,8 @@ mod tests {
                     let hybrid = optimizer.optimize(&job, &params).unwrap();
                     let exhaustive = optimizer.optimize_exhaustive(&job, &params).unwrap();
                     assert_eq!(
-                        hybrid.r, exhaustive.r,
+                        hybrid.r,
+                        exhaustive.r,
                         "theta {theta} deadline {deadline} {:?}",
                         params.kind()
                     );

@@ -513,8 +513,7 @@ mod tests {
         let phi = 0.3;
         let c = clone_model();
         let re = resume_model(phi);
-        let threshold =
-            clone_beats_resume_threshold(&job(), re.params()).expect("premise holds");
+        let threshold = clone_beats_resume_threshold(&job(), re.params()).expect("premise holds");
         for r in 0..12 {
             let cmp = compare_pocd(&c, &re, r).unwrap();
             if f64::from(r) > threshold {
@@ -606,10 +605,20 @@ mod tests {
         ));
         let s = restart_model();
         let expected = (20.0_f64 / 60.0).powf(1.5);
-        assert!(approx_eq(s.extra_miss_probability(), expected, 1e-12, 1e-12));
+        assert!(approx_eq(
+            s.extra_miss_probability(),
+            expected,
+            1e-12,
+            1e-12
+        ));
         let re = resume_model(0.4);
         let expected = (0.6 * 20.0_f64 / 60.0).powf(1.5);
-        assert!(approx_eq(re.extra_miss_probability(), expected, 1e-12, 1e-12));
+        assert!(approx_eq(
+            re.extra_miss_probability(),
+            expected,
+            1e-12,
+            1e-12
+        ));
     }
 
     #[test]

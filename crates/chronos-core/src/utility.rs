@@ -302,8 +302,7 @@ mod tests {
         let n = net(1e-4, 0.0, params);
         for r in 0..5 {
             assert!(
-                (n.utility(r).unwrap() - n.utility_continuous(f64::from(r)).unwrap()).abs()
-                    < 1e-12
+                (n.utility(r).unwrap() - n.utility_continuous(f64::from(r)).unwrap()).abs() < 1e-12
             );
         }
     }
@@ -322,9 +321,7 @@ mod tests {
                 .pocd_model()
                 .concave_from()
                 .expect("finite threshold for these parameters");
-            let us: Vec<f64> = (start..start + 8)
-                .map(|r| n.utility(r).unwrap())
-                .collect();
+            let us: Vec<f64> = (start..start + 8).map(|r| n.utility(r).unwrap()).collect();
             for w in us.windows(3) {
                 let second_diff = w[2] - 2.0 * w[1] + w[0];
                 assert!(
@@ -355,8 +352,14 @@ mod tests {
     fn accessors_expose_models() {
         let params = StrategyParams::restart(40.0, 80.0).unwrap();
         let n = net(1e-4, 0.0, params);
-        assert_eq!(n.pocd_model().params().kind(), StrategyKind::SpeculativeRestart);
-        assert_eq!(n.cost_model().params().kind(), StrategyKind::SpeculativeRestart);
+        assert_eq!(
+            n.pocd_model().params().kind(),
+            StrategyKind::SpeculativeRestart
+        );
+        assert_eq!(
+            n.cost_model().params().kind(),
+            StrategyKind::SpeculativeRestart
+        );
         assert_eq!(n.objective().theta(), 1e-4);
         assert!(n.dollar_cost(1).unwrap() > 0.0);
         assert!(n.concavity_threshold().is_some());

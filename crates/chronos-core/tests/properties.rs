@@ -9,12 +9,12 @@ use proptest::prelude::*;
 /// closed form is defined.
 fn job_and_timing() -> impl Strategy<Value = (JobProfile, f64, f64, f64)> {
     (
-        2u32..200,            // tasks
-        5.0f64..60.0,         // t_min
-        1.05f64..1.95,        // beta
-        1.5f64..8.0,          // deadline as multiple of t_min
-        0.05f64..0.45,        // tau_est as fraction of deadline
-        0.1f64..0.9,          // phi_est
+        2u32..200,     // tasks
+        5.0f64..60.0,  // t_min
+        1.05f64..1.95, // beta
+        1.5f64..8.0,   // deadline as multiple of t_min
+        0.05f64..0.45, // tau_est as fraction of deadline
+        0.1f64..0.9,   // phi_est
     )
         .prop_map(|(tasks, t_min, beta, d_factor, est_frac, phi)| {
             let deadline = d_factor * t_min;
@@ -29,16 +29,13 @@ fn job_and_timing() -> impl Strategy<Value = (JobProfile, f64, f64, f64)> {
             let tau_kill = tau_est + 0.4 * t_min;
             (job, tau_est, tau_kill, phi)
         })
-        .prop_filter("reactive window must exceed t_min", |(job, tau_est, _, _)| {
-            job.deadline() - tau_est > job.t_min() + 1e-6
-        })
+        .prop_filter(
+            "reactive window must exceed t_min",
+            |(job, tau_est, _, _)| job.deadline() - tau_est > job.t_min() + 1e-6,
+        )
 }
 
-fn all_strategies(
-    tau_est: f64,
-    tau_kill: f64,
-    phi: f64,
-) -> Vec<StrategyParams> {
+fn all_strategies(tau_est: f64, tau_kill: f64, phi: f64) -> Vec<StrategyParams> {
     vec![
         StrategyParams::clone_strategy(tau_kill),
         StrategyParams::restart(tau_est, tau_kill).expect("valid restart timing"),

@@ -61,11 +61,7 @@ impl ClusterSpec {
                 "cluster must have at least one node and one slot per node",
             ));
         }
-        if self
-            .slowdowns
-            .iter()
-            .any(|s| !s.is_finite() || *s < 1.0)
-        {
+        if self.slowdowns.iter().any(|s| !s.is_finite() || *s < 1.0) {
             return Err(SimError::invalid_config(
                 "node slowdown factors must be finite and >= 1",
             ));
@@ -278,8 +274,10 @@ mod tests {
     #[test]
     fn sim_config_validation() {
         assert!(SimConfig::default().validate().is_ok());
-        let mut cfg = SimConfig::default();
-        cfg.progress_report_interval_secs = 0.0;
+        let cfg = SimConfig {
+            progress_report_interval_secs: 0.0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
         let validation = SimConfig::analysis_validation(7);
         assert!(validation.validate().is_ok());

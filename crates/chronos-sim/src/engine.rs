@@ -389,7 +389,11 @@ impl Simulation {
     // Attempt lifecycle
     // ------------------------------------------------------------------
 
-    fn create_attempt(&mut self, task_id: TaskId, start_fraction: f64) -> Result<AttemptId, SimError> {
+    fn create_attempt(
+        &mut self,
+        task_id: TaskId,
+        start_fraction: f64,
+    ) -> Result<AttemptId, SimError> {
         let job_id = self
             .tasks
             .get(&task_id)
@@ -735,8 +739,8 @@ mod tests {
 
     #[test]
     fn cloning_policy_launches_and_prunes() {
-        let mut sim = Simulation::new(small_config(7), Box::new(CloneOnce { kill_offset: 5.0 }))
-            .unwrap();
+        let mut sim =
+            Simulation::new(small_config(7), Box::new(CloneOnce { kill_offset: 5.0 })).unwrap();
         sim.submit(job(0, 0.0, 1_000.0, 3)).unwrap();
         let report = sim.run().unwrap();
         let metrics = report.jobs.values().next().unwrap();

@@ -92,7 +92,9 @@ mod tests {
     fn display_variants() {
         assert!(SimError::invalid_config("x").to_string().contains("x"));
         assert!(SimError::unknown("job-9").to_string().contains("job-9"));
-        assert!(SimError::invalid_action("kill").to_string().contains("kill"));
+        assert!(SimError::invalid_action("kill")
+            .to_string()
+            .contains("kill"));
         assert!(SimError::EventBudgetExhausted { limit: 5 }
             .to_string()
             .contains('5'));

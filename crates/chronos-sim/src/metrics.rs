@@ -118,13 +118,19 @@ impl SimulationReport {
     /// Total attempts launched across all jobs.
     #[must_use]
     pub fn total_attempts(&self) -> u64 {
-        self.jobs.values().map(|j| u64::from(j.attempts_launched)).sum()
+        self.jobs
+            .values()
+            .map(|j| u64::from(j.attempts_launched))
+            .sum()
     }
 
     /// Total attempts killed across all jobs.
     #[must_use]
     pub fn total_kills(&self) -> u64 {
-        self.jobs.values().map(|j| u64::from(j.attempts_killed)).sum()
+        self.jobs
+            .values()
+            .map(|j| u64::from(j.attempts_killed))
+            .sum()
     }
 
     /// Histogram of the `r` values the policy chose (Figure 5). Jobs without

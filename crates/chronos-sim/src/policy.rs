@@ -98,10 +98,11 @@ impl TaskView {
     /// The active attempt with the best progress, if any.
     #[must_use]
     pub fn best_progress_attempt(&self) -> Option<&AttemptView> {
-        self.attempts
-            .iter()
-            .filter(|a| a.active)
-            .max_by(|a, b| a.progress.partial_cmp(&b.progress).unwrap_or(std::cmp::Ordering::Equal))
+        self.attempts.iter().filter(|a| a.active).max_by(|a, b| {
+            a.progress
+                .partial_cmp(&b.progress)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// The active attempt with the earliest estimated completion, if any
@@ -276,7 +277,10 @@ mod tests {
     #[test]
     fn best_progress_ignores_inactive() {
         let t = task_view();
-        assert_eq!(t.best_progress_attempt().unwrap().attempt, AttemptId::new(1));
+        assert_eq!(
+            t.best_progress_attempt().unwrap().attempt,
+            AttemptId::new(1)
+        );
         assert_eq!(t.active_attempts(), 2);
     }
 

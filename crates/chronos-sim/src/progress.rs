@@ -34,7 +34,10 @@ pub struct ProgressReport {
 ///
 /// Returns `None` if the attempt has not started.
 #[must_use]
-pub fn first_progress_report(attempt: &Attempt, report_interval_secs: f64) -> Option<ProgressReport> {
+pub fn first_progress_report(
+    attempt: &Attempt,
+    report_interval_secs: f64,
+) -> Option<ProgressReport> {
     let work_start = attempt.work_start()?;
     let at = work_start + crate::time::SimDuration::from_secs(report_interval_secs.max(0.0));
     Some(ProgressReport {
@@ -125,11 +128,7 @@ pub fn estimate_completion(
 /// launch overhead of the original attempt (`t_FP − t_lau`), and skips past
 /// it. The result is clamped to `[current progress, 0.999]`.
 #[must_use]
-pub fn estimate_resume_offset(
-    attempt: &Attempt,
-    now: SimTime,
-    report_interval_secs: f64,
-) -> f64 {
+pub fn estimate_resume_offset(attempt: &Attempt, now: SimTime, report_interval_secs: f64) -> f64 {
     let current = attempt.progress_at(now);
     let Some(launched) = attempt.launched_at else {
         return current;
@@ -287,7 +286,10 @@ mod tests {
         let offset = estimate_resume_offset(&a, SimTime::from_secs(40.0), 1.0);
         let progress_now = a.progress_at(SimTime::from_secs(40.0));
         assert!(offset > progress_now);
-        assert!((offset - (progress_now + 0.11)).abs() < 0.02, "offset {offset}");
+        assert!(
+            (offset - (progress_now + 0.11)).abs() < 0.02,
+            "offset {offset}"
+        );
         assert!(offset < 1.0);
     }
 
@@ -301,7 +303,10 @@ mod tests {
             SimTime::ZERO,
             0.0,
         );
-        assert_eq!(estimate_resume_offset(&pending, SimTime::from_secs(5.0), 1.0), 0.0);
+        assert_eq!(
+            estimate_resume_offset(&pending, SimTime::from_secs(5.0), 1.0),
+            0.0
+        );
         // Query before the first report: no extrapolation.
         let a = attempt(10.0, 100.0, 0.0);
         let early = estimate_resume_offset(&a, SimTime::from_secs(10.5), 1.0);

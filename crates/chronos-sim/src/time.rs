@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut times = vec![
+        let mut times = [
             SimTime::from_secs(5.0),
             SimTime::from_secs(1.0),
             SimTime::from_secs(3.0),

@@ -94,9 +94,7 @@ impl SpeculationPolicy for ClonePolicy {
 mod tests {
     use super::*;
     use chronos_core::Pareto;
-    use chronos_sim::prelude::{
-        AttemptId, AttemptView, JobId, SimTime, TaskId, TaskView,
-    };
+    use chronos_sim::prelude::{AttemptId, AttemptView, JobId, SimTime, TaskId, TaskView};
 
     fn submit_view() -> JobSubmitView {
         JobSubmitView {

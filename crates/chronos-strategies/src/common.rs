@@ -115,7 +115,8 @@ impl ChronosPolicyConfig {
             StrategyKind::Clone => StrategyParams::clone_strategy(tau_kill),
             StrategyKind::SpeculativeRestart => StrategyParams::restart(tau_est, tau_kill)?,
             StrategyKind::SpeculativeResume => {
-                let phi = expected_straggler_progress(tau_est, job.deadline_secs, job.profile.beta());
+                let phi =
+                    expected_straggler_progress(tau_est, job.deadline_secs, job.profile.beta());
                 StrategyParams::resume(tau_est, tau_kill, phi)?
             }
         };
@@ -171,7 +172,7 @@ pub fn is_straggler(task: &TaskView, view: &JobView) -> bool {
 /// estimated completion, falling back to the best progress score when no
 /// estimates exist.
 #[must_use]
-pub fn best_active_attempt<'a>(task: &'a TaskView) -> Option<&'a AttemptView> {
+pub fn best_active_attempt(task: &TaskView) -> Option<&AttemptView> {
     task.earliest_estimated_attempt()
         .or_else(|| task.best_progress_attempt())
 }
@@ -368,7 +369,10 @@ mod tests {
             completed: false,
             attempts: vec![attempt(0, Some(150.0), 0.9), attempt(1, Some(90.0), 0.1)],
         };
-        assert_eq!(best_active_attempt(&task).unwrap().attempt, AttemptId::new(1));
+        assert_eq!(
+            best_active_attempt(&task).unwrap().attempt,
+            AttemptId::new(1)
+        );
         let no_estimates = TaskView {
             task: TaskId::new(0),
             completed: false,

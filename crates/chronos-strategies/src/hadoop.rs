@@ -197,7 +197,10 @@ mod tests {
     #[test]
     fn schedule_is_periodic_and_no_clones() {
         let mut policy = HadoopSpeculate::new(3.0);
-        assert_eq!(policy.on_job_submit(&submit_view()).extra_clones_per_task, 0);
+        assert_eq!(
+            policy.on_job_submit(&submit_view()).extra_clones_per_task,
+            0
+        );
         assert_eq!(policy.on_job_submit(&submit_view()).reported_r, None);
         match policy.check_schedule(&submit_view()) {
             CheckSchedule::Periodic { first, period } => {

@@ -136,7 +136,9 @@ impl SpeculationPolicy for MantriPolicy {
                 continue;
             };
             if remaining > average + self.remaining_threshold_secs {
-                let count = (self.max_extra_attempts - extras_so_far).min(budget as u32).max(1);
+                let count = (self.max_extra_attempts - extras_so_far)
+                    .min(budget as u32)
+                    .max(1);
                 actions.push(PolicyAction::LaunchExtra {
                     task: task.task,
                     count,

@@ -198,7 +198,12 @@ mod tests {
         }];
         let actions = policy.on_check(&view(0, tasks));
         assert_eq!(actions.len(), 2);
-        assert_eq!(actions[0], PolicyAction::Kill { attempt: AttemptId::new(0) });
+        assert_eq!(
+            actions[0],
+            PolicyAction::Kill {
+                attempt: AttemptId::new(0)
+            }
+        );
         assert_eq!(
             actions[1],
             PolicyAction::LaunchExtra {
@@ -248,10 +253,7 @@ mod tests {
         let task = TaskView {
             task: TaskId::new(0),
             completed: false,
-            attempts: vec![
-                attempt(0, None, 0.2, 0.25),
-                attempt(1, None, 0.4, 0.47),
-            ],
+            attempts: vec![attempt(0, None, 0.2, 0.25), attempt(1, None, 0.4, 0.47)],
         };
         assert!((resume_offset_for(&task) - 0.47).abs() < 1e-12);
         let empty = TaskView {
@@ -265,9 +267,8 @@ mod tests {
     #[test]
     fn schedule_matches_timing() {
         let policy = ResumePolicy::new(
-            ChronosPolicyConfig::testbed().with_timing(crate::timing::StrategyTiming::of_tmin(
-                0.3, 0.8,
-            )),
+            ChronosPolicyConfig::testbed()
+                .with_timing(crate::timing::StrategyTiming::of_tmin(0.3, 0.8)),
         );
         match policy.check_schedule(&submit_view()) {
             CheckSchedule::AtOffsets(offsets) => assert_eq!(offsets, vec![6.0, 16.0]),

@@ -188,8 +188,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_sub_unit_slowdown() {
-        let mut model = ContentionModel::default();
-        model.slow_factor = 0.5;
+        let model = ContentionModel {
+            slow_factor: 0.5,
+            ..Default::default()
+        };
         assert!(model.validate().is_err());
         assert!(model.node_slowdowns(10).is_err());
     }

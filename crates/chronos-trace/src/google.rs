@@ -310,7 +310,10 @@ mod tests {
             .with_beta(1.1)
             .generate()
             .unwrap();
-        assert!(trace.jobs.iter().all(|j| (j.profile.beta() - 1.1).abs() < 1e-12));
+        assert!(trace
+            .jobs
+            .iter()
+            .all(|j| (j.profile.beta() - 1.1).abs() < 1e-12));
     }
 
     #[test]

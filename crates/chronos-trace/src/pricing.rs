@@ -69,7 +69,11 @@ impl PriceModel {
         match self {
             PriceModel::Fixed { price } => {
                 if !(price.is_finite() && *price >= 0.0) {
-                    return Err(ChronosError::invalid("price", *price, "a finite value >= 0"));
+                    return Err(ChronosError::invalid(
+                        "price",
+                        *price,
+                        "a finite value >= 0",
+                    ));
                 }
             }
             PriceModel::MeanReverting {
@@ -194,7 +198,11 @@ impl PricePath {
     #[must_use]
     pub fn range(&self) -> (f64, f64) {
         let min = self.prices.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = self.prices.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .prices
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         (min, max)
     }
 

@@ -157,7 +157,11 @@ impl TestbedWorkload {
             ));
         }
         if !(self.price.is_finite() && self.price >= 0.0) {
-            return Err(ChronosError::invalid("price", self.price, "a finite value >= 0"));
+            return Err(ChronosError::invalid(
+                "price",
+                self.price,
+                "a finite value >= 0",
+            ));
         }
         self.contention.validate()
     }
@@ -287,9 +291,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = TestbedWorkload::paper_setup(Benchmark::TeraSort, 5).generate().unwrap();
-        let b = TestbedWorkload::paper_setup(Benchmark::TeraSort, 5).generate().unwrap();
-        let c = TestbedWorkload::paper_setup(Benchmark::TeraSort, 6).generate().unwrap();
+        let a = TestbedWorkload::paper_setup(Benchmark::TeraSort, 5)
+            .generate()
+            .unwrap();
+        let b = TestbedWorkload::paper_setup(Benchmark::TeraSort, 5)
+            .generate()
+            .unwrap();
+        let c = TestbedWorkload::paper_setup(Benchmark::TeraSort, 6)
+            .generate()
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }

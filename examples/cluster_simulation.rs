@@ -33,8 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let theta = 1e-4;
-    let chronos_config = ChronosPolicyConfig::with_theta(theta)?
-        .with_timing(StrategyTiming::trace_default());
+    let chronos_config =
+        ChronosPolicyConfig::with_theta(theta)?.with_timing(StrategyTiming::trace_default());
 
     let policies: Vec<Box<dyn SpeculationPolicy>> = vec![
         Box::new(HadoopNoSpec::default()),

@@ -21,14 +21,20 @@ fn main() -> Result<(), ChronosError> {
     let strategies = vec![
         ("Clone", StrategyParams::clone_strategy(40.0)),
         ("Speculative-Restart", StrategyParams::restart(12.0, 40.0)?),
-        ("Speculative-Resume", StrategyParams::resume(12.0, 40.0, 0.2)?),
+        (
+            "Speculative-Resume",
+            StrategyParams::resume(12.0, 40.0, 0.2)?,
+        ),
     ];
 
     let sla_target = 0.99;
     let budget_vm_seconds = 4_000.0;
 
     println!("SLA target: PoCD >= {sla_target}");
-    println!("{:<24}{:>8}{:>12}{:>16}", "strategy", "r", "PoCD", "cost (VM-s)");
+    println!(
+        "{:<24}{:>8}{:>12}{:>16}",
+        "strategy", "r", "PoCD", "cost (VM-s)"
+    );
     for (name, params) in &strategies {
         let frontier = Frontier::sweep(&job, params, 12)?;
         match frontier.cheapest_for_pocd(sla_target) {
@@ -41,7 +47,10 @@ fn main() -> Result<(), ChronosError> {
     }
 
     println!("\nBudget: {budget_vm_seconds} VM-seconds per job");
-    println!("{:<24}{:>8}{:>12}{:>16}", "strategy", "r", "PoCD", "cost (VM-s)");
+    println!(
+        "{:<24}{:>8}{:>12}{:>16}",
+        "strategy", "r", "PoCD", "cost (VM-s)"
+    );
     for (name, params) in &strategies {
         let frontier = Frontier::sweep(&job, params, 12)?;
         match frontier.best_pocd_within_budget(budget_vm_seconds) {

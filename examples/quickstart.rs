@@ -30,7 +30,10 @@ fn main() -> Result<(), ChronosError> {
 
     // θ = 1e-4: the testbed tradeoff between PoCD and machine-time cost.
     let optimizer = Optimizer::new(UtilityModel::new(1e-4, 0.0)?);
-    println!("\n{:<22}{:>6}{:>10}{:>14}{:>12}", "strategy", "r*", "PoCD", "E[T] (VM-s)", "utility");
+    println!(
+        "\n{:<22}{:>6}{:>10}{:>14}{:>12}",
+        "strategy", "r*", "PoCD", "E[T] (VM-s)", "utility"
+    );
     for params in &strategies {
         let outcome = optimizer.optimize(&job, params)?;
         println!(

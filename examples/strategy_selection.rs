@@ -52,9 +52,9 @@ fn main() -> Result<(), ChronosError> {
             compare_pocd(&resume_model, &restart_model, r_probe)?,
         );
         match clone_beats_resume_threshold(&job, &candidates[2]) {
-            Ok(threshold) => println!(
-                "  Clone out-speculates S-Resume only beyond r > {threshold:.1}"
-            ),
+            Ok(threshold) => {
+                println!("  Clone out-speculates S-Resume only beyond r > {threshold:.1}")
+            }
             Err(_) => println!("  Clone never out-speculates S-Resume for this class"),
         }
 

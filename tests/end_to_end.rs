@@ -38,7 +38,11 @@ fn figure2_ordering_chronos_beats_baselines() {
 
     let hadoop_ns = run(Box::new(HadoopNoSpec::default()), jobs.clone(), &config);
     let hadoop_s = run(Box::new(HadoopSpeculate::default()), jobs.clone(), &config);
-    let clone = run(Box::new(ClonePolicy::new(chronos_config)), jobs.clone(), &config);
+    let clone = run(
+        Box::new(ClonePolicy::new(chronos_config)),
+        jobs.clone(),
+        &config,
+    );
     let restart = run(
         Box::new(RestartPolicy::new(chronos_config)),
         jobs.clone(),
@@ -78,7 +82,10 @@ fn figure2_ordering_chronos_beats_baselines() {
 fn figure3_mantri_is_expensive() {
     // On the trace workload Mantri achieves high PoCD but burns considerably
     // more machine time than S-Resume (the paper reports up to 88 % more).
-    let jobs = GoogleTraceConfig::scaled(120, 5).generate().unwrap().into_jobs();
+    let jobs = GoogleTraceConfig::scaled(120, 5)
+        .generate()
+        .unwrap()
+        .into_jobs();
     let config = SimConfig {
         cluster: ClusterSpec::homogeneous(1_000, 8),
         jvm: JvmModel::default(),
@@ -107,7 +114,10 @@ fn figure3_mantri_is_expensive() {
 #[test]
 fn figure5_histogram_shifts_down_with_theta() {
     // The per-job optimal r decreases (weakly) when θ grows by 10×.
-    let jobs = GoogleTraceConfig::scaled(80, 13).generate().unwrap().into_jobs();
+    let jobs = GoogleTraceConfig::scaled(80, 13)
+        .generate()
+        .unwrap()
+        .into_jobs();
     let config = SimConfig {
         cluster: ClusterSpec::homogeneous(1_000, 8),
         jvm: JvmModel::disabled(),
@@ -128,14 +138,18 @@ fn figure5_histogram_shifts_down_with_theta() {
     let timing = StrategyTiming::trace_default();
     let cheap = run(
         Box::new(ResumePolicy::new(
-            ChronosPolicyConfig::with_theta(1e-5).unwrap().with_timing(timing),
+            ChronosPolicyConfig::with_theta(1e-5)
+                .unwrap()
+                .with_timing(timing),
         )),
         jobs.clone(),
         &config,
     );
     let pricey = run(
         Box::new(ResumePolicy::new(
-            ChronosPolicyConfig::with_theta(1e-3).unwrap().with_timing(timing),
+            ChronosPolicyConfig::with_theta(1e-3)
+                .unwrap()
+                .with_timing(timing),
         )),
         jobs,
         &config,
@@ -160,7 +174,8 @@ fn figure4_heavier_tails_cost_more() {
         seed: 4,
         max_events: 0,
     };
-    let chronos_config = ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default());
+    let chronos_config =
+        ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default());
     let heavy_jobs = GoogleTraceConfig::scaled(80, 21)
         .with_beta(1.2)
         .generate()
@@ -171,8 +186,16 @@ fn figure4_heavier_tails_cost_more() {
         .generate()
         .unwrap()
         .into_jobs();
-    let heavy = run(Box::new(ResumePolicy::new(chronos_config)), heavy_jobs, &config);
-    let light = run(Box::new(ResumePolicy::new(chronos_config)), light_jobs, &config);
+    let heavy = run(
+        Box::new(ResumePolicy::new(chronos_config)),
+        heavy_jobs,
+        &config,
+    );
+    let light = run(
+        Box::new(ResumePolicy::new(chronos_config)),
+        light_jobs,
+        &config,
+    );
     assert!(heavy.mean_machine_time() > light.mean_machine_time());
     // Chronos keeps PoCD high in both regimes.
     assert!(heavy.pocd() >= 0.85);
@@ -187,9 +210,90 @@ fn simulation_reports_are_reproducible() {
         .unwrap();
     let config = testbed_config(8);
     let chronos_config = ChronosPolicyConfig::testbed();
-    let a = run(Box::new(ClonePolicy::new(chronos_config)), jobs.clone(), &config);
+    let a = run(
+        Box::new(ClonePolicy::new(chronos_config)),
+        jobs.clone(),
+        &config,
+    );
     let b = run(Box::new(ClonePolicy::new(chronos_config)), jobs, &config);
     assert_eq!(a, b);
+}
+
+#[test]
+fn all_six_strategies_run_and_report_feasible_outcomes() {
+    // Every policy of the paper's evaluation — Hadoop-NS, Hadoop-S, Mantri,
+    // Clone, Speculative-Restart and Speculative-Resume — built through the
+    // facade prelude's `PolicyKind`, must take the same workload end to end
+    // and produce a feasible report: every job measured, PoCD a probability,
+    // positive machine time, and at least one attempt per task.
+    let jobs = TestbedWorkload::paper_setup(Benchmark::Sort, 19)
+        .with_jobs(12)
+        .generate()
+        .unwrap();
+    let task_count: usize = jobs.iter().map(|job| job.tasks.len()).sum();
+    let config = testbed_config(6);
+    let chronos_config = ChronosPolicyConfig::testbed();
+
+    for kind in PolicyKind::ALL {
+        let report = run(kind.build(chronos_config), jobs.clone(), &config);
+        assert_eq!(report.policy, kind.label(), "policy label mismatch");
+        assert_eq!(report.job_count(), 12, "{} lost jobs", kind.label());
+        assert!(
+            (0.0..=1.0).contains(&report.pocd()),
+            "{} PoCD {} is not a probability",
+            kind.label(),
+            report.pocd()
+        );
+        assert!(
+            report.mean_machine_time() > 0.0,
+            "{} reported non-positive machine time",
+            kind.label()
+        );
+        assert!(
+            report.total_attempts() >= task_count as u64,
+            "{} launched {} attempts for {task_count} tasks",
+            kind.label(),
+            report.total_attempts()
+        );
+        // The optimizing Chronos strategies must report the per-job r their
+        // optimizer chose (the Figure 5 histogram); baselines must not.
+        let optimizes = matches!(
+            kind,
+            PolicyKind::Clone | PolicyKind::SpeculativeRestart | PolicyKind::SpeculativeResume
+        );
+        assert_eq!(
+            !report.chosen_r_histogram().is_empty(),
+            optimizes,
+            "{} r-histogram presence is wrong",
+            kind.label()
+        );
+    }
+
+    // The same six strategies map onto the analytical layer: each of the
+    // three closed-form strategy families yields a feasible optimum.
+    let job = JobProfile::builder()
+        .tasks(20)
+        .t_min(20.0)
+        .beta(1.5)
+        .deadline(100.0)
+        .build()
+        .unwrap();
+    let optimizer = Optimizer::new(UtilityModel::new(1e-4, 0.0).unwrap());
+    for params in [
+        StrategyParams::clone_strategy(12.0),
+        StrategyParams::restart(6.0, 12.0).unwrap(),
+        StrategyParams::resume(6.0, 12.0, 0.3).unwrap(),
+    ] {
+        let outcome = optimizer.optimize(&job, &params).unwrap();
+        assert!(
+            (0.0..=1.0).contains(&outcome.pocd),
+            "{:?} optimal PoCD {} infeasible",
+            outcome.strategy,
+            outcome.pocd
+        );
+        assert!(outcome.utility.is_finite());
+        assert!(outcome.machine_time > 0.0);
+    }
 }
 
 #[test]

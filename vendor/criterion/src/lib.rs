@@ -1,0 +1,358 @@
+//! Offline, API-compatible subset of [criterion](https://docs.rs/criterion).
+//!
+//! Implements the benchmark-definition surface the `chronos-bench` targets
+//! use (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`)
+//! over a simple wall-clock harness: warm up for `warm_up_time`, then time
+//! batches until `measurement_time` elapses or `sample_size` samples are
+//! collected, and print the mean/min per-iteration time. No statistical
+//! analysis, plots or baselines — enough to measure and compare the hot
+//! paths offline.
+
+#![deny(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    #[must_use]
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter rendering only.
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Timing parameters shared by a [`Criterion`] instance and the groups it
+/// spawns.
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.settings.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before timing starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.settings.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the timing budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.settings.measurement_time = duration;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(None, &id.into(), self.settings, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.settings.sample_size = samples.max(1);
+        self
+    }
+
+    /// Overrides the timing budget for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.settings.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(Some(&self.name), &id.into(), self.settings, f);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(Some(&self.name), &id, self.settings, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; this subset prints as
+    /// it goes).
+    pub fn finish(self) {}
+}
+
+/// Times the closure under measurement.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Per-iteration time of each recorded sample, in nanoseconds.
+    samples: Vec<f64>,
+    /// Iterations batched into one timing sample, so that nanosecond-scale
+    /// routines are not dominated by `Instant::now()` overhead.
+    iters_per_sample: u64,
+    mode: BenchMode,
+    /// Warm-up bookkeeping used to size the measurement batches.
+    warm_up_spent: Duration,
+    warm_up_iters: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+enum BenchMode {
+    #[default]
+    WarmUp,
+    Measure,
+}
+
+/// Target wall-clock time of one measurement batch: large enough that timer
+/// overhead (tens of nanoseconds per `Instant::now()` pair) is < 0.1 % even
+/// for single-digit-nanosecond routines.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_micros(50);
+
+impl Bencher {
+    /// Runs the routine `iters_per_sample` times per sample and records the
+    /// mean wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            BenchMode::WarmUp => {
+                let start = Instant::now();
+                black_box(routine());
+                self.warm_up_spent += start.elapsed();
+                self.warm_up_iters += 1;
+            }
+            BenchMode::Measure => {
+                let iters = self.iters_per_sample.max(1);
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                let elapsed = start.elapsed();
+                self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(group: Option<&str>, id: &BenchmarkId, settings: Settings, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut full_name = String::new();
+    if let Some(group) = group {
+        let _ = write!(full_name, "{group}/");
+    }
+    let _ = write!(full_name, "{}", id.label);
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(settings.sample_size),
+        iters_per_sample: 1,
+        mode: BenchMode::WarmUp,
+        warm_up_spent: Duration::ZERO,
+        warm_up_iters: 0,
+    };
+    let warm_up_deadline = Instant::now() + settings.warm_up_time;
+    while Instant::now() < warm_up_deadline {
+        f(&mut bencher);
+    }
+
+    // Batch enough iterations per sample to amortize timer overhead, based
+    // on the warm-up estimate of the per-iteration cost.
+    if bencher.warm_up_iters > 0 {
+        let per_iter = bencher.warm_up_spent.div_f64(bencher.warm_up_iters as f64);
+        if per_iter < TARGET_SAMPLE_TIME {
+            let ratio = TARGET_SAMPLE_TIME.as_nanos() as f64 / per_iter.as_nanos().max(1) as f64;
+            bencher.iters_per_sample = (ratio.ceil() as u64).clamp(1, 1_000_000);
+        }
+    }
+
+    bencher.mode = BenchMode::Measure;
+    let deadline = Instant::now() + settings.measurement_time;
+    while bencher.samples.len() < settings.sample_size {
+        f(&mut bencher);
+        if Instant::now() >= deadline && !bencher.samples.is_empty() {
+            break;
+        }
+    }
+
+    let count = bencher.samples.len().max(1);
+    let mean = bencher.samples.iter().sum::<f64>() / count as f64;
+    let min = bencher
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let iters = bencher.iters_per_sample;
+    println!(
+        "bench: {full_name:<50} mean {:>12}  min {:>12}  ({count} samples x {iters} iters)",
+        format_nanos(mean),
+        format_nanos(if min.is_finite() { min } else { 0.0 }),
+    );
+}
+
+/// Renders a nanosecond count with a human-friendly unit.
+fn format_nanos(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1}ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2}us", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2}ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2}s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, in either the simple or the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the given groups (for `harness = false`
+/// bench targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut counter = 0u64;
+        quick().bench_function("counting", |b| b.iter(|| counter += 1));
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn groups_and_inputs_compose() {
+        let mut criterion = quick();
+        let mut group = criterion.benchmark_group("group");
+        group.sample_size(3);
+        let input = vec![1u64, 2, 3];
+        group.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("p").label, "p");
+        assert_eq!(BenchmarkId::from("s").label, "s");
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline, API-compatible subset of
+//! [rand_distr 0.4](https://docs.rs/rand_distr/0.4): the [`Distribution`]
+//! trait and the samplers the Chronos workspace uses. Normal variates come
+//! from the Box–Muller transform (exact, two uniforms per pair) instead of
+//! upstream's ziggurat tables — slower, but dependency-free and exact.
+
+#![deny(unsafe_code)]
+
+use rand::{Rng, RngCore};
+
+/// Types that can draw samples of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// An iterator of samples (mirrors upstream's `sample_iter`).
+    fn sample_iter<R: RngCore>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        Self: Sized,
+    {
+        DistIter {
+            distr: self,
+            rng,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Iterator returned by [`Distribution::sample_iter`].
+#[derive(Debug)]
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Draws a standard normal variate via Box–Muller.
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen_range(0.0..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        if u1 > 0.0 {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `std_dev` is negative or non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if !(std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite()) {
+            return Err(Error("Normal requires finite mean and std_dev >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the location `mu` and scale
+    /// `sigma` of the underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `sigma` is negative or non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !(sigma >= 0.0 && sigma.is_finite() && mu.is_finite()) {
+            return Err(Error("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `lambda` is not strictly positive.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if !(lambda > 0.0 && lambda.is_finite()) {
+            return Err(Error("Exp requires lambda > 0"));
+        }
+        Ok(Exp { lambda })
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.lambda
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dist = Normal::new(5.0, 2.0).unwrap();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| dist.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = LogNormal::new(1.0, 0.5).unwrap();
+        let mut samples: Vec<f64> = (0..20_001).map(|_| dist.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        // Median of LogNormal(mu, sigma) is exp(mu).
+        assert!(
+            (median - 1.0f64.exp()).abs() / 1.0f64.exp() < 0.05,
+            "median {median}"
+        );
+        assert!(samples.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn exp_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dist = Exp::new(0.5).unwrap();
+        let n = 50_000;
+        let mean = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(Exp::new(0.0).is_err());
+    }
+}

@@ -1,0 +1,624 @@
+//! Offline, API-compatible subset of [serde](https://serde.rs).
+//!
+//! This workspace builds in an environment without access to crates.io, so
+//! the handful of external crates it needs are vendored as minimal subsets
+//! exposing exactly the surface the Chronos crates use. Here that surface
+//! is:
+//!
+//! - `#[derive(Serialize, Deserialize)]` on plain structs and enums
+//!   (named/tuple/unit structs; unit, newtype, tuple and struct enum
+//!   variants; no generics, no `#[serde(...)]` attributes),
+//! - `T: Serialize` / `T: for<'de> Deserialize<'de>` bounds as used by
+//!   `serde_json::{to_string_pretty, from_str}`.
+//!
+//! Instead of serde's zero-copy visitor architecture, both traits go
+//! through an owned JSON-shaped [`Value`] tree: `Serialize` lowers `self`
+//! into a [`Value`] and `Deserialize` rebuilds `Self` from one. That is a
+//! fraction of serde's performance and generality, but it is deterministic,
+//! dependency-free and sufficient for the experiment artifacts this
+//! workspace writes and reads back.
+
+#![deny(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Error produced when a [`Value`] cannot be rebuilt into the requested
+/// type (wrong shape, missing field, out-of-range number, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Creates an error with the given message.
+    #[must_use]
+    pub fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A JSON number: integers keep full 64-bit precision so ids and counters
+/// survive round trips exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A negative integer.
+    NegInt(i64),
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A floating-point number.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for huge integers).
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::NegInt(v) => v as f64,
+            Number::PosInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(v) if v.fract() == 0.0 && v >= 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `i64` if it fits.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::NegInt(v) => Some(v),
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::Float(v)
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+            {
+                Some(v as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// An owned JSON document: the data model both traits go through.
+///
+/// Object keys keep insertion order (derived structs serialize fields in
+/// declaration order, like serde's default).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Lowers a value into the JSON data model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds a value from the JSON data model.
+///
+/// The lifetime parameter exists only so the upstream bound
+/// `T: for<'de> Deserialize<'de>` keeps compiling; this subset always
+/// deserializes from an owned tree.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when the value has the wrong shape.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_u64()
+                        .and_then(|v| <$ty>::try_from(v).ok())
+                        .ok_or_else(|| {
+                            Error::msg(concat!("number out of range for ", stringify!($ty)))
+                        }),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($ty), ", got {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => n
+                        .as_i64()
+                        .and_then(|v| <$ty>::try_from(v).ok())
+                        .ok_or_else(|| {
+                            Error::msg(concat!("number out of range for ", stringify!($ty)))
+                        }),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($ty), ", got {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                let v = f64::from(*self);
+                // serde_json serializes non-finite floats as null.
+                if v.is_finite() {
+                    Value::Number(Number::Float(v))
+                } else {
+                    Value::Null
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $ty),
+                    other => Err(Error::msg(format!(
+                        concat!("expected ", stringify!($ty), ", got {}"),
+                        other.kind()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::msg(format!("expected char, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+}
+
+/// Renders a map key as a JSON object key. JSON forces keys to be strings;
+/// like serde_json, keys that serialize as numbers, booleans or strings
+/// (including integer newtypes) are stringified, anything else is refused.
+///
+/// # Panics
+///
+/// Panics on structurally non-key types (arrays/objects), where upstream
+/// serde_json returns a runtime error from its fallible serializer.
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::Str(s) => s,
+        Value::Number(Number::PosInt(v)) => v.to_string(),
+        Value::Number(Number::NegInt(v)) => v.to_string(),
+        Value::Number(Number::Float(v)) => v.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!(
+            "map key must serialize as a string or number, got {}",
+            other.kind()
+        ),
+    }
+}
+
+/// Rebuilds a map key from its JSON object-key string: first as a string
+/// value, then (for integer-like keys such as id newtypes) as a number.
+fn key_from_string<K: for<'de> Deserialize<'de>>(key: &str) -> Result<K, Error> {
+    if let Ok(parsed) = K::from_value(&Value::Str(key.to_owned())) {
+        return Ok(parsed);
+    }
+    let number = if let Ok(v) = key.parse::<u64>() {
+        Number::PosInt(v)
+    } else if let Ok(v) = key.parse::<i64>() {
+        Number::NegInt(v)
+    } else if let Ok(v) = key.parse::<f64>() {
+        Number::Float(v)
+    } else {
+        return Err(Error::msg(format!("invalid map key `{key}`")));
+    };
+    K::from_value(&Value::Number(number))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'a> Deserialize<'a> + Ord,
+    V: Deserialize<'de>,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(k), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: for<'a> Deserialize<'a> + std::hash::Hash + Eq,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(Error::msg(format!(
+                                "expected array of {expected}, got {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::msg(format!("expected array, got {}", other.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Runtime support called by the generated derive code. Not part of the
+/// public serde API surface; kept `pub` because macro expansions reference
+/// it by path.
+pub mod helpers {
+    use super::{Deserialize, Error, Value};
+
+    /// Fetches and deserializes a struct field by name. A missing field is
+    /// retried against `null` so `Option` fields tolerate omission.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if the value is not an object or the field
+    /// cannot be deserialized.
+    pub fn field<T: for<'de> Deserialize<'de>>(value: &Value, name: &str) -> Result<T, Error> {
+        match value {
+            Value::Object(_) => match value.get(name) {
+                Some(inner) => {
+                    T::from_value(inner).map_err(|e| Error::msg(format!("field `{name}`: {}", e.0)))
+                }
+                None => T::from_value(&Value::Null)
+                    .map_err(|_| Error::msg(format!("missing field `{name}`"))),
+            },
+            other => Err(Error::msg(format!(
+                "expected object for struct, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fetches and deserializes a tuple-struct / tuple-variant element.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] if the value is not an array of the right size.
+    pub fn element<T: for<'de> Deserialize<'de>>(value: &Value, index: usize) -> Result<T, Error> {
+        match value {
+            Value::Array(items) => items
+                .get(index)
+                .ok_or_else(|| Error::msg(format!("missing tuple element {index}")))
+                .and_then(T::from_value),
+            other => Err(Error::msg(format!(
+                "expected array for tuple, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Dispatches an externally-tagged enum value: `"Variant"` for unit
+    /// variants, `{"Variant": payload}` for data variants.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] for any other shape.
+    pub fn variant<'a>(value: &'a Value, enum_name: &str) -> Result<(&'a str, &'a Value), Error> {
+        const UNIT: &Value = &Value::Null;
+        match value {
+            Value::Str(tag) => Ok((tag.as_str(), UNIT)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), &entries[0].1))
+            }
+            other => Err(Error::msg(format!(
+                "expected {enum_name} variant tag, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&7u32.to_value()), Ok(7));
+        assert_eq!(i64::from_value(&(-3i64).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn option_and_vec_round_trip() {
+        let v: Option<f64> = None;
+        assert_eq!(v.to_value(), Value::Null);
+        assert_eq!(Option::<f64>::from_value(&Value::Null), Ok(None));
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&xs.to_value()), Ok(xs));
+    }
+
+    #[test]
+    fn integer_keyed_map_uses_string_keys() {
+        let mut map = BTreeMap::new();
+        map.insert(4u32, 9usize);
+        let value = map.to_value();
+        assert_eq!(value.get("4").and_then(|v| v.as_number_u64()), Some(9));
+        assert_eq!(BTreeMap::<u32, usize>::from_value(&value), Ok(map));
+    }
+
+    impl Value {
+        fn as_number_u64(&self) -> Option<u64> {
+            match self {
+                Value::Number(n) => n.as_u64(),
+                _ => None,
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f64::NEG_INFINITY.to_value(), Value::Null);
+        assert_eq!(f64::NAN.to_value(), Value::Null);
+    }
+}

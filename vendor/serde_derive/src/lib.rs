@@ -1,0 +1,454 @@
+//! Offline subset of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses, by hand-parsing the item's token
+//! stream (the real implementation's `syn`/`quote` stack is unavailable in
+//! this offline build):
+//!
+//! - structs with named fields, tuple structs (incl. newtypes), unit structs,
+//! - enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, serde's default representation),
+//! - no generic parameters and no `#[serde(...)]` attributes.
+//!
+//! Unsupported shapes produce a `compile_error!` naming the limitation
+//! rather than silently generating wrong code. The generated impls target
+//! the vendored `serde` crate's `Value`-based traits.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored subset).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (vendored subset).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Unit,
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Number of fields of a tuple struct / variant.
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match mode {
+            Mode::Serialize => gen_serialize(&item),
+            Mode::Deserialize => gen_deserialize(&item),
+        },
+        Err(message) => format!("compile_error!({message:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+/// Skips one leading attribute (`#[...]` / `#![...]`) if present.
+fn skip_attribute(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '#' {
+            pos += 1;
+            if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+                if p.as_char() == '!' {
+                    pos += 1;
+                }
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Bracket {
+                    return pos + 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+fn skip_attributes(tokens: &[TokenTree], mut pos: usize) -> usize {
+    loop {
+        let next = skip_attribute(tokens, pos);
+        if next == pos {
+            return pos;
+        }
+        pos = next;
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], mut pos: usize) -> usize {
+    if let Some(TokenTree::Ident(ident)) = tokens.get(pos) {
+        if ident.to_string() == "pub" {
+            pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    pos += 1;
+                }
+            }
+        }
+    }
+    pos
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = skip_attributes(&tokens, 0);
+    pos = skip_visibility(&tokens, pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("serde derive: expected struct/enum, got {other:?}")),
+    };
+    pos += 1;
+
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => return Err(format!("serde derive: expected type name, got {other:?}")),
+    };
+    pos += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde derive (vendored subset): generic type `{name}` is not supported"
+            ));
+        }
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            other => Err(format!("serde derive: unsupported struct body {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("serde derive: expected enum body, got {other:?}")),
+        },
+        other => Err(format!("serde derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names. Commas inside
+/// groups are invisible at this level; commas inside generic arguments are
+/// skipped by tracking `<`/`>` depth.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attributes(&tokens, pos);
+        pos = skip_visibility(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[pos] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => return Err(format!("serde derive: expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("serde derive: expected `:`, got {other:?}")),
+        }
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (i, token) in tokens.iter().enumerate() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if i + 1 == tokens.len() {
+                    saw_trailing_comma = true;
+                } else {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        pos = skip_attributes(&tokens, pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(ident) => ident.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    pos += 1;
+                    break;
+                }
+                _ => pos += 1,
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+fn serialize_named_fields(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), \
+                 ::serde::Serialize::to_value(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec![{}])",
+        entries.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(fields) => serialize_named_fields(fields, "self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from({vname:?})),"
+                        ),
+                        Fields::Named(fields) => {
+                            let bindings = fields.join(", ");
+                            let payload = serialize_named_fields(fields, "*");
+                            format!(
+                                "{name}::{vname} {{ {bindings} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), {payload})]),"
+                            )
+                        }
+                        Fields::Tuple(n) => {
+                            let bindings: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = bindings
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), {payload})]),",
+                                bindings.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn deserialize_named_fields(fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::helpers::field({source}, {f:?})?,"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+                Fields::Named(fields) => format!(
+                    "::std::result::Result::Ok({name} {{ {} }})",
+                    deserialize_named_fields(fields, "__value")
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let elements: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::helpers::element(__value, {i})?"))
+                        .collect();
+                    format!("::std::result::Result::Ok({name}({}))", elements.join(", "))
+                }
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|variant| {
+                    let vname = &variant.name;
+                    match &variant.fields {
+                        Fields::Unit => {
+                            format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                        }
+                        Fields::Named(fields) => format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                            deserialize_named_fields(fields, "__payload")
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{vname:?} => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let elements: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::helpers::element(__payload, {i})?"))
+                                .collect();
+                            format!(
+                                "{vname:?} => ::std::result::Result::Ok({name}::{vname}({})),",
+                                elements.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let (__tag, __payload) = ::serde::helpers::variant(__value, {name:?})?;\n\
+                         match __tag {{\n{}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::msg(\
+                                 ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion bench for the sharded runner: end-to-end workload throughput
+//! (generation-to-merged-report) at 1, 2 and 4 worker threads, plus the
+//! single-threaded `Simulation` as the unsharded reference point.
+//!
+//! Setting `CHRONOS_BENCH_SMOKE=1` shrinks the workload and takes a single
+//! sample — the CI `bench-smoke` job uses this to catch panics and API rot
+//! without paying (or trusting) real measurement time on shared runners.
+
+use chronos_bench::{run_policy, sharded_bench_config, sharded_bench_stream};
+use chronos_sim::prelude::*;
+use chronos_strategies::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn smoke() -> bool {
+    std::env::var_os("CHRONOS_BENCH_SMOKE").is_some()
+}
+
+fn bench_sharded_throughput(c: &mut Criterion) {
+    let jobs: u32 = if smoke() { 500 } else { 10_000 };
+    let mut group = c.benchmark_group(format!("sharded-throughput-{jobs}-jobs"));
+    if smoke() {
+        group.sample_size(1);
+        group.measurement_time(Duration::from_millis(1));
+    }
+    for workers in [1u32, 2, 4] {
+        let runner = ShardedRunner::new(sharded_bench_config(workers)).expect("valid config");
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| {
+                runner
+                    .run_chunked(sharded_bench_stream(jobs), |_| {
+                        Box::new(HadoopNoSpec::default())
+                    })
+                    .expect("simulation")
+            })
+        });
+    }
+    // Unsharded single-Simulation reference: what the runner's 1-worker
+    // overhead (partitioning + merge) costs relative to a plain run.
+    group.bench_function(BenchmarkId::new("unsharded", "reference"), |b| {
+        let jobs_vec: Vec<JobSpec> = sharded_bench_stream(jobs).flatten().collect();
+        let config = sharded_bench_config(1);
+        b.iter(|| {
+            run_policy(&config, Box::new(HadoopNoSpec::default()), jobs_vec.clone())
+                .expect("simulation")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(if std::env::var_os("CHRONOS_BENCH_SMOKE").is_some() { 1 } else { 500 }))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_sharded_throughput
+);
+criterion_main!(benches);

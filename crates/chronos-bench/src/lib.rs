@@ -27,6 +27,7 @@
 
 use chronos_sim::prelude::*;
 use chronos_strategies::prelude::*;
+use chronos_trace::prelude::{Benchmark, TestbedWorkload, WorkloadStream};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -131,6 +132,7 @@ pub fn testbed_sim_config(seed: u64) -> SimConfig {
         progress_report_interval_secs: 1.0,
         seed,
         max_events: 0,
+        sharding: ShardSpec::default(),
     }
 }
 
@@ -149,6 +151,46 @@ pub fn trace_sim_config(seed: u64) -> SimConfig {
         progress_report_interval_secs: 1.0,
         seed,
         max_events: 0,
+        sharding: ShardSpec::default(),
+    }
+}
+
+/// Seed of the sharded benchmark workload ([`sharded_bench_stream`] /
+/// [`sharded_bench_config`]).
+pub const SHARDED_BENCH_SEED: u64 = 33;
+/// Shard count of the sharded benchmark workload.
+pub const SHARDED_BENCH_SHARDS: u32 = 16;
+/// Tasks per job of the sharded benchmark workload.
+pub const SHARDED_BENCH_TASKS_PER_JOB: u32 = 4;
+
+/// The chunked workload both the `throughput` Criterion bench and the
+/// `bench_baseline` recorder measure. Sharing one definition is what keeps
+/// the checked-in `bench_baseline.json` numbers comparable to the bench
+/// output — scale only via `jobs`, never by editing one copy.
+#[must_use]
+pub fn sharded_bench_stream(jobs: u32) -> WorkloadStream {
+    let mut workload =
+        TestbedWorkload::paper_setup(Benchmark::Sort, SHARDED_BENCH_SEED).with_jobs(jobs);
+    workload.tasks_per_job = SHARDED_BENCH_TASKS_PER_JOB;
+    workload.mean_interarrival_secs = 2.0;
+    workload
+        .stream(jobs.div_ceil(SHARDED_BENCH_SHARDS))
+        .expect("valid workload")
+}
+
+/// The simulator configuration paired with [`sharded_bench_stream`]:
+/// testbed-style 50×8 cluster, JVM overhead on, [`SHARDED_BENCH_SHARDS`]
+/// shards, `workers` worker threads.
+#[must_use]
+pub fn sharded_bench_config(workers: u32) -> SimConfig {
+    SimConfig {
+        cluster: ClusterSpec::homogeneous(50, 8),
+        jvm: JvmModel::default(),
+        estimator: EstimatorKind::ChronosJvmAware,
+        progress_report_interval_secs: 1.0,
+        seed: SHARDED_BENCH_SEED,
+        max_events: 0,
+        sharding: ShardSpec::new(SHARDED_BENCH_SHARDS, workers),
     }
 }
 
@@ -320,7 +362,6 @@ pub fn figure3_lineup(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chronos_trace::prelude::*;
 
     #[test]
     fn scale_parsing() {

@@ -1,0 +1,120 @@
+//! Golden-output tests for the experiment binaries.
+//!
+//! `fig2` and `table1` embed fixed seeds, so their `--quick` JSON artifacts
+//! are fully deterministic (verified identical across debug and release
+//! builds). Each test runs the real binary into a scratch results
+//! directory and compares the artifact against a checked-in golden copy,
+//! turning "the experiment harness silently drifted" into a `cargo test`
+//! failure instead of a manual-inspection hazard.
+//!
+//! To regenerate a golden after an *intentional* change:
+//!
+//! ```text
+//! CHRONOS_RESULTS_DIR=crates/chronos-bench/tests/golden cargo run --bin fig2 -- --quick
+//! mv crates/chronos-bench/tests/golden/fig2.json \
+//!    crates/chronos-bench/tests/golden/fig2_quick.json
+//! ```
+//!
+//! (and equivalently for `table1`), then review the diff like any other
+//! code change.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs `bin` with `--quick` into a scratch results dir and returns the
+/// parsed `artifact` it wrote.
+fn run_quick(bin_path: &str, bin_name: &str, artifact: &str) -> serde_json::Value {
+    // Keyed by PID so concurrent test-suite invocations (two checkouts, a
+    // re-run overlapping a stuck run) cannot delete each other's artifacts.
+    let scratch =
+        std::env::temp_dir().join(format!("chronos-golden-{bin_name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let output = Command::new(bin_path)
+        .arg("--quick")
+        .env("CHRONOS_RESULTS_DIR", &scratch)
+        .output()
+        .unwrap_or_else(|err| panic!("failed to spawn {bin_name}: {err}"));
+    assert!(
+        output.status.success(),
+        "{bin_name} --quick failed with {}:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let path = scratch.join(artifact);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("{bin_name} did not write {}: {err}", path.display()));
+    let value = serde_json::parse_value(&text)
+        .unwrap_or_else(|err| panic!("{} is not valid JSON: {err}", path.display()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    value
+}
+
+fn golden(name: &str) -> serde_json::Value {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|err| panic!("missing golden {}: {err}", path.display()));
+    serde_json::parse_value(&text)
+        .unwrap_or_else(|err| panic!("golden {} is not valid JSON: {err}", path.display()))
+}
+
+/// Structural equality with a tight relative tolerance on floats: the
+/// simulator's task durations flow through platform libm (`ln`/`powf`),
+/// which is not bit-specified across OSes, so exact float comparison would
+/// make these tests fail spuriously on a host whose libm rounds one sample
+/// differently. 1e-9 relative absorbs last-ulp skew while still catching
+/// any real experiment drift.
+fn approx_eq(a: &serde_json::Value, b: &serde_json::Value) -> bool {
+    use serde_json::Value;
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => {
+            let (x, y) = (x.as_f64(), y.as_f64());
+            x == y || (x - y).abs() <= 1e-9 * x.abs().max(y.abs())
+        }
+        (Value::Array(xs), Value::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| approx_eq(x, y))
+        }
+        (Value::Object(xs), Value::Object(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && approx_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+fn assert_matches_golden(bin_path: &str, bin_name: &str, artifact: &str, golden_name: &str) {
+    let actual = run_quick(bin_path, bin_name, artifact);
+    let expected = golden(golden_name);
+    assert!(
+        approx_eq(&actual, &expected),
+        "{bin_name} --quick output diverged from tests/golden/{golden_name}.\n\
+         If the change is intentional, regenerate the golden (see the module\n\
+         docs of this test) and commit the diff.\n\
+         actual:   {actual:?}\n\
+         expected: {expected:?}",
+    );
+}
+
+#[test]
+fn fig2_quick_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig2"),
+        "fig2",
+        "fig2.json",
+        "fig2_quick.json",
+    );
+}
+
+#[test]
+fn table1_quick_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_table1"),
+        "table1",
+        "table1.json",
+        "table1_quick.json",
+    );
+}

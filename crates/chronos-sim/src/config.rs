@@ -143,6 +143,109 @@ impl Default for JvmModel {
     }
 }
 
+/// Sharded-execution knobs for [`crate::shard::ShardedRunner`].
+///
+/// A plain [`crate::Simulation`] ignores these; the sharded runner uses them
+/// to decide how many independent per-shard simulations the workload is
+/// partitioned into and how many OS threads execute them. The two knobs are
+/// deliberately separate: **`shards` shapes the result** (each shard has its
+/// own deterministically derived RNG stream), while **`workers` only shapes
+/// the wall-clock** — any worker count produces bit-identical merged reports
+/// for a fixed shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Number of shards the workload is partitioned into. `0` resolves to
+    /// [`ShardSpec::DEFAULT_SHARDS`] — a fixed constant, never the machine's
+    /// core count, so auto-configured runs stay reproducible across hosts.
+    pub shards: u32,
+    /// Worker threads executing shards. `0` resolves to the machine's
+    /// available parallelism, clamped to the shard count.
+    pub workers: u32,
+}
+
+impl ShardSpec {
+    /// Shard count used when `shards == 0`. A fixed constant (not the core
+    /// count) so that the default partitioning — and therefore the merged
+    /// metrics — do not depend on the machine running the simulation.
+    pub const DEFAULT_SHARDS: u32 = 16;
+
+    /// Run everything in one shard on one thread (the degenerate layout that
+    /// behaves exactly like a plain [`crate::Simulation`] modulo the derived
+    /// shard seed).
+    #[must_use]
+    pub fn single() -> Self {
+        ShardSpec {
+            shards: 1,
+            workers: 1,
+        }
+    }
+
+    /// `shards` shards executed by `workers` threads.
+    #[must_use]
+    pub fn new(shards: u32, workers: u32) -> Self {
+        ShardSpec { shards, workers }
+    }
+
+    /// The effective shard count (resolving the `0` = auto convention).
+    #[must_use]
+    pub fn resolved_shards(&self) -> u32 {
+        if self.shards == 0 {
+            Self::DEFAULT_SHARDS
+        } else {
+            self.shards
+        }
+    }
+
+    /// The requested worker count before any shard-count clamping: the
+    /// explicit value, or the machine's available parallelism when `0`.
+    /// This is what the chunked runner uses, since there the number of
+    /// shards is the (unknown ahead of time) number of chunks, not
+    /// [`ShardSpec::resolved_shards`].
+    #[must_use]
+    pub fn requested_workers(&self) -> u32 {
+        let requested = if self.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| u32::try_from(n.get()).unwrap_or(u32::MAX))
+                .unwrap_or(1)
+        } else {
+            self.workers
+        };
+        requested.max(1)
+    }
+
+    /// The effective worker count for a run over
+    /// [`ShardSpec::resolved_shards`] shards: [`ShardSpec::requested_workers`]
+    /// clamped to the shard count (more workers than shards would only
+    /// idle).
+    #[must_use]
+    pub fn resolved_workers(&self) -> u32 {
+        self.requested_workers().clamp(1, self.resolved_shards())
+    }
+
+    /// Validates the specification. All values are currently valid (zero
+    /// means "auto"), but the hook keeps the config surface uniform and
+    /// future-proof.
+    ///
+    /// # Errors
+    ///
+    /// Currently never fails; kept fallible for parity with the sibling
+    /// config types.
+    pub fn validate(&self) -> Result<(), SimError> {
+        Ok(())
+    }
+}
+
+impl Default for ShardSpec {
+    /// Auto everything: a fixed default shard count, workers from the
+    /// machine's parallelism.
+    fn default() -> Self {
+        ShardSpec {
+            shards: 0,
+            workers: 0,
+        }
+    }
+}
+
 /// Which completion-time estimator the Application Master exposes to
 /// policies (Section VI.B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -168,11 +271,17 @@ pub struct SimConfig {
     /// Interval between task progress reports, seconds. The first report of
     /// an attempt defines `t_FP` in Eq. 30.
     pub progress_report_interval_secs: f64,
-    /// RNG seed; identical seeds give identical simulations.
+    /// RNG seed; identical seeds give identical simulations. The sharded
+    /// runner derives per-shard seeds from this value via splitmix64 (see
+    /// [`crate::shard::shard_seed`]).
     pub seed: u64,
     /// Safety valve: the simulation aborts after this many events, guarding
-    /// against runaway policies. `0` disables the limit.
+    /// against runaway policies. `0` disables the limit. The limit applies
+    /// per shard when running under the sharded runner.
     pub max_events: u64,
+    /// Shard/worker layout used by [`crate::shard::ShardedRunner`]; ignored
+    /// by a plain [`crate::Simulation`].
+    pub sharding: ShardSpec,
 }
 
 impl SimConfig {
@@ -185,6 +294,7 @@ impl SimConfig {
     pub fn validate(&self) -> Result<(), SimError> {
         self.cluster.validate()?;
         self.jvm.validate()?;
+        self.sharding.validate()?;
         if !(self.progress_report_interval_secs.is_finite()
             && self.progress_report_interval_secs > 0.0)
         {
@@ -207,7 +317,15 @@ impl SimConfig {
             progress_report_interval_secs: 1.0,
             seed,
             max_events: 0,
+            sharding: ShardSpec::default(),
         }
+    }
+
+    /// Returns a copy with the given shard/worker layout.
+    #[must_use]
+    pub fn with_sharding(mut self, sharding: ShardSpec) -> Self {
+        self.sharding = sharding;
+        self
     }
 }
 
@@ -220,6 +338,7 @@ impl Default for SimConfig {
             progress_report_interval_secs: 3.0,
             seed: 1,
             max_events: 0,
+            sharding: ShardSpec::default(),
         }
     }
 }
@@ -288,5 +407,39 @@ mod tests {
     #[test]
     fn estimator_default_is_chronos() {
         assert_eq!(EstimatorKind::default(), EstimatorKind::ChronosJvmAware);
+    }
+
+    #[test]
+    fn shard_spec_resolution() {
+        let auto = ShardSpec::default();
+        assert_eq!(auto.resolved_shards(), ShardSpec::DEFAULT_SHARDS);
+        assert!(auto.resolved_workers() >= 1);
+        assert!(auto.resolved_workers() <= auto.resolved_shards());
+
+        let single = ShardSpec::single();
+        assert_eq!(single.resolved_shards(), 1);
+        assert_eq!(single.resolved_workers(), 1);
+
+        // Workers are clamped to the shard count: extra threads would idle.
+        // The chunked runner asks for the unclamped request instead, since
+        // its shard count is the chunk count.
+        let oversubscribed = ShardSpec::new(4, 64);
+        assert_eq!(oversubscribed.resolved_shards(), 4);
+        assert_eq!(oversubscribed.resolved_workers(), 4);
+        assert_eq!(oversubscribed.requested_workers(), 64);
+
+        // Auto workers on an explicit shard count stay within it too.
+        let capped = ShardSpec::new(2, 0);
+        assert!(capped.resolved_workers() >= 1);
+        assert!(capped.resolved_workers() <= 2);
+        assert!(ShardSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn with_sharding_sets_layout() {
+        let config = SimConfig::default().with_sharding(ShardSpec::new(8, 2));
+        assert_eq!(config.sharding.shards, 8);
+        assert_eq!(config.sharding.workers, 2);
+        assert!(config.validate().is_ok());
     }
 }

@@ -13,7 +13,7 @@ use crate::error::SimError;
 use crate::event::{Event, EventQueue};
 use crate::ids::{AttemptId, IdAllocator, JobId, NodeId, TaskId};
 use crate::job::{JobRuntime, JobSpec, TaskRuntime};
-use crate::metrics::{JobMetrics, SimulationReport};
+use crate::metrics::{JobMetrics, LatencyHistogram, SimulationReport};
 use crate::policy::{
     AttemptView, CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy, TaskView,
 };
@@ -123,14 +123,17 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Fails on the first invalid or duplicate spec; earlier jobs in the
-    /// batch remain queued.
+    /// Fails on the first invalid or duplicate spec, identifying the
+    /// offending spec by its position in the batch and its job id; earlier
+    /// jobs in the batch remain queued.
     pub fn submit_all<I>(&mut self, specs: I) -> Result<(), SimError>
     where
         I: IntoIterator<Item = JobSpec>,
     {
-        for spec in specs {
-            self.submit(spec)?;
+        for (index, spec) in specs.into_iter().enumerate() {
+            let id = spec.id;
+            self.submit(spec)
+                .map_err(|err| err.with_context(format_args!("batch spec #{index} ({id})")))?;
         }
         Ok(())
     }
@@ -561,6 +564,7 @@ impl Simulation {
 
     fn build_report(&self) -> SimulationReport {
         let mut jobs = BTreeMap::new();
+        let mut latency = LatencyHistogram::new();
         for (job_id, job) in &self.jobs {
             let mut machine_time = 0.0;
             let mut launched = 0u32;
@@ -578,27 +582,30 @@ impl Simulation {
                 }
             }
             let met_deadline = job.met_deadline().unwrap_or(false);
-            jobs.insert(
-                *job_id,
-                JobMetrics {
-                    job: *job_id,
-                    submitted_at: job.spec.submit_time,
-                    deadline_secs: job.spec.deadline_secs,
-                    completed_at: job.completed_at,
-                    met_deadline,
-                    machine_time_secs: machine_time,
-                    cost: machine_time * job.spec.price,
-                    attempts_launched: launched,
-                    attempts_killed: killed,
-                    chosen_r: self.chosen_r.get(job_id).copied(),
-                },
-            );
+            let entry = JobMetrics {
+                job: *job_id,
+                submitted_at: job.spec.submit_time,
+                deadline_secs: job.spec.deadline_secs,
+                completed_at: job.completed_at,
+                met_deadline,
+                machine_time_secs: machine_time,
+                cost: machine_time * job.spec.price,
+                attempts_launched: launched,
+                attempts_killed: killed,
+                chosen_r: self.chosen_r.get(job_id).copied(),
+            };
+            match entry.completion_secs() {
+                Some(secs) => latency.record_secs(secs),
+                None => latency.record_unfinished(),
+            }
+            jobs.insert(*job_id, entry);
         }
         SimulationReport {
             policy: self.policy.name(),
             jobs,
             events_processed: self.events_processed,
             ended_at: self.now,
+            latency,
         }
     }
 }
@@ -606,7 +613,7 @@ impl Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{ClusterSpec, EstimatorKind, JvmModel};
+    use crate::config::{ClusterSpec, EstimatorKind, JvmModel, ShardSpec};
     use crate::policy::{NoSpeculation, SubmitDecision};
     use chronos_core::Pareto;
 
@@ -618,6 +625,7 @@ mod tests {
             progress_report_interval_secs: 1.0,
             seed,
             max_events: 0,
+            sharding: ShardSpec::default(),
         }
     }
 
@@ -651,6 +659,53 @@ mod tests {
     fn invalid_spec_rejected_on_submit() {
         let mut sim = Simulation::new(small_config(3), Box::new(NoSpeculation)).unwrap();
         assert!(sim.submit(job(0, 0.0, 100.0, 0)).is_err());
+    }
+
+    #[test]
+    fn submit_all_identifies_the_failing_spec() {
+        // Spec #2 (job-7) has zero tasks: the error must name both the batch
+        // position and the job id instead of losing them.
+        let mut sim = Simulation::new(small_config(3), Box::new(NoSpeculation)).unwrap();
+        let batch = vec![
+            job(5, 0.0, 100.0, 2),
+            job(6, 1.0, 100.0, 2),
+            job(7, 2.0, 100.0, 0),
+            job(8, 3.0, 100.0, 2),
+        ];
+        let err = sim.submit_all(batch).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("batch spec #2"), "{message}");
+        assert!(message.contains("job-7"), "{message}");
+        // Earlier jobs in the batch remain queued, the failing one does not.
+        let report = sim.run().unwrap();
+        assert_eq!(report.job_count(), 2);
+    }
+
+    #[test]
+    fn submit_all_identifies_duplicate_ids_in_batch() {
+        let mut sim = Simulation::new(small_config(3), Box::new(NoSpeculation)).unwrap();
+        let err = sim
+            .submit_all(vec![job(0, 0.0, 100.0, 1), job(0, 1.0, 100.0, 1)])
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("batch spec #1"), "{message}");
+        assert!(message.contains("duplicate job id"), "{message}");
+    }
+
+    #[test]
+    fn report_latency_histogram_counts_every_job() {
+        let mut sim = Simulation::new(small_config(3), Box::new(NoSpeculation)).unwrap();
+        sim.submit_all((0..5).map(|i| job(i, f64::from(i as u32), 500.0, 2)))
+            .unwrap();
+        let report = sim.run().unwrap();
+        assert_eq!(report.latency.total(), 5);
+        assert_eq!(report.latency.unfinished(), 0);
+        let completed = report
+            .jobs
+            .values()
+            .filter_map(JobMetrics::completion_secs)
+            .count() as u64;
+        assert_eq!(report.latency.completed(), completed);
     }
 
     #[test]

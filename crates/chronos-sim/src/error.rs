@@ -27,6 +27,23 @@ pub enum SimError {
         /// The configured limit.
         limit: u64,
     },
+    /// Two simulation reports being merged overlap (e.g. the same job id
+    /// appears in both shards' reports).
+    MergeConflict {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// An error annotated with where in a larger operation it arose.
+    /// Produced by [`SimError::with_context`] for variants that carry no
+    /// free-form detail of their own (e.g. which shard exhausted its event
+    /// budget); detail-carrying variants are prefixed in place instead so
+    /// `matches!`-style handling keeps seeing the original variant.
+    Context {
+        /// Where the error arose (e.g. `shard 41`).
+        context: String,
+        /// The underlying error.
+        source: Box<SimError>,
+    },
     /// An error bubbled up from the analytical crate (e.g. while a policy
     /// runs the optimizer at job submission).
     Core(chronos_core::ChronosError),
@@ -53,6 +70,42 @@ impl SimError {
             detail: detail.into(),
         }
     }
+
+    /// Convenience constructor for [`SimError::MergeConflict`].
+    pub fn merge_conflict(detail: impl Into<String>) -> Self {
+        SimError::MergeConflict {
+            detail: detail.into(),
+        }
+    }
+
+    /// Returns this error with `context` prefixed onto its human-readable
+    /// detail, for callers that know *where* in a larger operation the error
+    /// arose (e.g. which spec of a batch submission failed validation, or
+    /// which shard of a sharded run failed). Detail-carrying variants are
+    /// prefixed in place (preserving the variant for pattern matching);
+    /// everything else is wrapped in [`SimError::Context`] so the location
+    /// is never lost.
+    #[must_use]
+    pub fn with_context(self, context: impl std::fmt::Display) -> Self {
+        match self {
+            SimError::InvalidConfig { detail } => SimError::InvalidConfig {
+                detail: format!("{context}: {detail}"),
+            },
+            SimError::UnknownEntity { detail } => SimError::UnknownEntity {
+                detail: format!("{context}: {detail}"),
+            },
+            SimError::InvalidAction { detail } => SimError::InvalidAction {
+                detail: format!("{context}: {detail}"),
+            },
+            SimError::MergeConflict { detail } => SimError::MergeConflict {
+                detail: format!("{context}: {detail}"),
+            },
+            other => SimError::Context {
+                context: context.to_string(),
+                source: Box::new(other),
+            },
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -64,6 +117,8 @@ impl fmt::Display for SimError {
             SimError::EventBudgetExhausted { limit } => {
                 write!(f, "event budget of {limit} events exhausted")
             }
+            SimError::MergeConflict { detail } => write!(f, "report merge conflict: {detail}"),
+            SimError::Context { context, source } => write!(f, "{context}: {source}"),
             SimError::Core(err) => write!(f, "analysis error: {err}"),
         }
     }
@@ -73,6 +128,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Core(err) => Some(err),
+            SimError::Context { source, .. } => Some(source.as_ref()),
             _ => None,
         }
     }
@@ -98,6 +154,32 @@ mod tests {
         assert!(SimError::EventBudgetExhausted { limit: 5 }
             .to_string()
             .contains('5'));
+        assert!(SimError::merge_conflict("job-1 twice")
+            .to_string()
+            .contains("job-1 twice"));
+    }
+
+    #[test]
+    fn with_context_prefixes_detail_variants() {
+        let err = SimError::invalid_config("deadline must be positive").with_context("spec #3");
+        assert_eq!(
+            err.to_string(),
+            "invalid configuration: spec #3: deadline must be positive"
+        );
+        let err = SimError::unknown("task-7").with_context("while pruning");
+        assert!(err.to_string().contains("while pruning: task-7"));
+        // Variants without a detail string are wrapped so the location is
+        // kept; the original error stays reachable via `source()`.
+        let budget = SimError::EventBudgetExhausted { limit: 9 }.with_context("shard 4");
+        assert_eq!(
+            budget.to_string(),
+            "shard 4: event budget of 9 events exhausted"
+        );
+        let inner = std::error::Error::source(&budget).expect("context keeps the source");
+        assert_eq!(
+            inner.to_string(),
+            SimError::EventBudgetExhausted { limit: 9 }.to_string()
+        );
     }
 
     #[test]

@@ -19,8 +19,11 @@
 //!   Speculative-Resume, Hadoop-S and Mantri plug in ([`policy`]),
 //! * **metrics** matching the paper's evaluation axes: PoCD, cost and net
 //!   utility ([`metrics`]),
-//! * and the deterministic **event-driven engine** tying it together
-//!   ([`engine`]).
+//! * the deterministic **event-driven engine** tying it together
+//!   ([`engine`]),
+//! * and a **sharded runner** that scales workloads of independent jobs
+//!   across worker threads without giving up bit-for-bit reproducibility
+//!   ([`shard`]).
 //!
 //! # Quick example
 //!
@@ -51,14 +54,16 @@ pub mod job;
 pub mod metrics;
 pub mod policy;
 pub mod progress;
+pub mod shard;
 pub mod time;
 
 pub mod prelude;
 
-pub use config::{ClusterSpec, EstimatorKind, JvmModel, SimConfig};
+pub use config::{ClusterSpec, EstimatorKind, JvmModel, ShardSpec, SimConfig};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use job::{JobSpec, TaskSpec};
-pub use metrics::{JobMetrics, SimulationReport};
+pub use metrics::{JobMetrics, LatencyHistogram, SimulationReport};
 pub use policy::{NoSpeculation, SpeculationPolicy};
+pub use shard::{shard_seed, ShardedRunner};
 pub use time::{SimDuration, SimTime};

@@ -5,11 +5,21 @@
 //! machine running time priced at the per-unit VM rate) and **net utility**
 //! `lg(PoCD − R_min) − θ·Cost`. [`SimulationReport`] computes all three from
 //! the raw per-job records.
+//!
+//! Reports form a **commutative monoid** under [`SimulationReport::merge`]
+//! with [`SimulationReport::default`] as the identity: the sharded runner
+//! relies on this to combine per-shard reports into an aggregate whose
+//! metrics are independent of how shards were scheduled across worker
+//! threads. Everything a report accumulates is therefore either keyed
+//! (per-job metrics in a [`BTreeMap`]), an order-insensitive reduction
+//! (sums, maxima, element-wise histogram addition) or a set union (the
+//! policy label).
 
+use crate::error::SimError;
 use crate::ids::JobId;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Metrics of a single job after the simulation finished (or was cut off).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,17 +56,169 @@ impl JobMetrics {
     }
 }
 
+/// Number of log₂ buckets in a [`LatencyHistogram`]. Bucket 0 covers
+/// `[0 s, 1 s)`, bucket `i` covers `[2^(i−1), 2^i)` seconds, and the last
+/// bucket absorbs everything above `2^38` seconds (≈ 8 700 years — far
+/// beyond any simulated horizon).
+pub const LATENCY_BUCKETS: usize = 40;
+
+/// A fixed-shape log₂ histogram of job turnaround times.
+///
+/// Counts are integers and the bucket layout is a compile-time constant, so
+/// merging two histograms (element-wise addition) is associative,
+/// commutative and bit-exact — the properties the sharded runner's
+/// order-insensitive report merge depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Per-bucket completion counts; index per the [`LATENCY_BUCKETS`] doc.
+    buckets: Vec<u64>,
+    /// Jobs that never completed within the simulation.
+    unfinished: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (the merge identity).
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; LATENCY_BUCKETS],
+            unfinished: 0,
+        }
+    }
+
+    /// The bucket a turnaround of `secs` falls into. NaN and sub-second
+    /// (including negative) turnarounds land in bucket 0; `+∞` — like any
+    /// value at or beyond the last bucket's lower edge — lands in the
+    /// overflow bucket.
+    #[must_use]
+    pub fn bucket_index(secs: f64) -> usize {
+        if secs.is_nan() || secs < 1.0 {
+            return 0;
+        }
+        let index = secs.log2().floor();
+        if index >= (LATENCY_BUCKETS - 2) as f64 {
+            LATENCY_BUCKETS - 1
+        } else {
+            index as usize + 1
+        }
+    }
+
+    /// Restores the fixed bucket count. The only way to violate it is
+    /// deserializing a hand-edited report; healing here keeps `record_secs`
+    /// panic-free and `merge` lossless on such data. Short vectors are
+    /// zero-extended; counts beyond the fixed layout fold into the overflow
+    /// bucket (they are by definition beyond its lower edge).
+    fn ensure_shape(&mut self) {
+        if self.buckets.len() < LATENCY_BUCKETS {
+            self.buckets.resize(LATENCY_BUCKETS, 0);
+        } else if self.buckets.len() > LATENCY_BUCKETS {
+            let excess: u64 = self.buckets.drain(LATENCY_BUCKETS..).sum();
+            self.buckets[LATENCY_BUCKETS - 1] += excess;
+        }
+    }
+
+    /// Records one completed job with the given turnaround.
+    pub fn record_secs(&mut self, secs: f64) {
+        self.ensure_shape();
+        self.buckets[Self::bucket_index(secs)] += 1;
+    }
+
+    /// Records one job that did not finish before the simulation ended.
+    pub fn record_unfinished(&mut self) {
+        self.unfinished += 1;
+    }
+
+    /// Adds `other`'s counts into `self` (element-wise, order-insensitive).
+    /// Malformed bucket vectors on either side (see `ensure_shape`) are
+    /// absorbed losslessly: `other`'s out-of-layout counts fold into the
+    /// overflow bucket.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.ensure_shape();
+        for (index, count) in other.buckets.iter().enumerate() {
+            self.buckets[index.min(LATENCY_BUCKETS - 1)] += count;
+        }
+        self.unfinished += other.unfinished;
+    }
+
+    /// Count in bucket `index` (zero for out-of-range indices).
+    #[must_use]
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.buckets.get(index).copied().unwrap_or(0)
+    }
+
+    /// The `[low, high)` second range bucket `index` covers. The final
+    /// bucket's upper bound is `f64::INFINITY`.
+    #[must_use]
+    pub fn bucket_bounds(index: usize) -> (f64, f64) {
+        if index == 0 {
+            (0.0, 1.0)
+        } else if index >= LATENCY_BUCKETS - 1 {
+            (2f64.powi((LATENCY_BUCKETS - 2) as i32), f64::INFINITY)
+        } else {
+            (2f64.powi(index as i32 - 1), 2f64.powi(index as i32))
+        }
+    }
+
+    /// Number of completed jobs recorded.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Number of unfinished jobs recorded.
+    #[must_use]
+    pub fn unfinished(&self) -> u64 {
+        self.unfinished
+    }
+
+    /// Total number of jobs recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.completed() + self.unfinished
+    }
+
+    /// An upper bound (bucket upper edge) on the `q`-quantile of the
+    /// recorded turnarounds, or `None` when nothing completed. `q` is
+    /// clamped to `[0, 1]`.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<f64> {
+        let completed = self.completed();
+        if completed == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * completed as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (index, count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(Self::bucket_bounds(index).1);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
 /// Aggregate report over all jobs of one simulation run.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct SimulationReport {
-    /// The policy that produced this run.
+    /// The policy that produced this run. After a merge this is the
+    /// `+`-joined sorted set of the contributing policy labels.
     pub policy: String,
     /// Per-job metrics keyed by job id.
     pub jobs: BTreeMap<JobId, JobMetrics>,
     /// Total number of events processed (diagnostic).
     pub events_processed: u64,
-    /// Simulated instant at which the run ended.
+    /// Simulated instant at which the run ended (the latest such instant
+    /// across shards after a merge).
     pub ended_at: SimTime,
+    /// Log₂ histogram of job turnaround times.
+    pub latency: LatencyHistogram,
 }
 
 impl SimulationReport {
@@ -64,6 +226,60 @@ impl SimulationReport {
     #[must_use]
     pub fn job_count(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// Accumulates `other` into `self`.
+    ///
+    /// The operation is **associative and commutative** (and
+    /// [`SimulationReport::default`] is its identity), so any merge order —
+    /// and therefore any shard-to-worker schedule — produces bit-identical
+    /// aggregates:
+    ///
+    /// * per-job metrics are unioned into the id-keyed map (job ids must be
+    ///   disjoint; this is what makes the union order-insensitive),
+    /// * `events_processed` is summed,
+    /// * `ended_at` takes the maximum over the exact integer-microsecond
+    ///   clock,
+    /// * latency histograms add element-wise over integer counts,
+    /// * the policy label becomes the `+`-joined sorted set of both sides'
+    ///   labels (normally a single label, since shards share a policy).
+    ///
+    /// Derived metrics (PoCD, mean cost, utility) are computed on demand
+    /// from the merged per-job map, so they need no merge rule of their own.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MergeConflict`] when both reports contain the
+    /// same job id; `self` is left unchanged in that case.
+    pub fn merge(&mut self, other: SimulationReport) -> Result<(), SimError> {
+        if let Some(duplicate) = other.jobs.keys().find(|id| self.jobs.contains_key(id)) {
+            return Err(SimError::merge_conflict(format!(
+                "both reports contain {duplicate}"
+            )));
+        }
+        self.policy = union_policy_labels(&self.policy, &other.policy);
+        self.jobs.extend(other.jobs);
+        self.events_processed += other.events_processed;
+        self.ended_at = self.ended_at.max(other.ended_at);
+        self.latency.merge(&other.latency);
+        Ok(())
+    }
+
+    /// Folds any number of reports into one, starting from the identity
+    /// (default) report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MergeConflict`] when two reports share a job id.
+    pub fn merged<I>(reports: I) -> Result<SimulationReport, SimError>
+    where
+        I: IntoIterator<Item = SimulationReport>,
+    {
+        let mut aggregate = SimulationReport::default();
+        for report in reports {
+            aggregate.merge(report)?;
+        }
+        Ok(aggregate)
     }
 
     /// PoCD: the fraction of jobs that completed before their deadline.
@@ -173,6 +389,19 @@ impl SimulationReport {
     }
 }
 
+/// The `+`-joined sorted union of two policy-label sets. Treating the label
+/// as a set makes the merge commutative and associative even when reports
+/// from different policies are combined; the empty label (the identity
+/// report's) vanishes.
+fn union_policy_labels(a: &str, b: &str) -> String {
+    let labels: BTreeSet<&str> = a
+        .split('+')
+        .chain(b.split('+'))
+        .filter(|label| !label.is_empty())
+        .collect();
+    labels.into_iter().collect::<Vec<_>>().join("+")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,18 +421,34 @@ mod tests {
         }
     }
 
-    fn report() -> SimulationReport {
+    /// Builds a report whose latency histogram is consistent with its job
+    /// map, the way `Simulation::build_report` produces them.
+    fn report_of(entries: Vec<JobMetrics>) -> SimulationReport {
         let mut jobs = BTreeMap::new();
-        jobs.insert(JobId::new(0), metrics(0, true, 600.0, 6.0, Some(2)));
-        jobs.insert(JobId::new(1), metrics(1, true, 400.0, 4.0, Some(2)));
-        jobs.insert(JobId::new(2), metrics(2, false, 800.0, 8.0, Some(3)));
-        jobs.insert(JobId::new(3), metrics(3, true, 200.0, 2.0, None));
+        let mut latency = LatencyHistogram::new();
+        for entry in entries {
+            match entry.completion_secs() {
+                Some(secs) => latency.record_secs(secs),
+                None => latency.record_unfinished(),
+            }
+            jobs.insert(entry.job, entry);
+        }
         SimulationReport {
             policy: "test".to_string(),
             jobs,
             events_processed: 99,
             ended_at: SimTime::from_secs(500.0),
+            latency,
         }
+    }
+
+    fn report() -> SimulationReport {
+        report_of(vec![
+            metrics(0, true, 600.0, 6.0, Some(2)),
+            metrics(1, true, 400.0, 4.0, Some(2)),
+            metrics(2, false, 800.0, 8.0, Some(3)),
+            metrics(3, true, 200.0, 2.0, None),
+        ])
     }
 
     #[test]
@@ -267,5 +512,198 @@ mod tests {
     fn job_metrics_completion_secs() {
         let m = metrics(0, true, 1.0, 1.0, None);
         assert!((m.completion_secs().unwrap() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(LatencyHistogram::bucket_index(0.0), 0);
+        assert_eq!(LatencyHistogram::bucket_index(0.5), 0);
+        assert_eq!(LatencyHistogram::bucket_index(1.0), 1);
+        assert_eq!(LatencyHistogram::bucket_index(1.9), 1);
+        assert_eq!(LatencyHistogram::bucket_index(2.0), 2);
+        assert_eq!(LatencyHistogram::bucket_index(80.0), 7);
+        assert_eq!(LatencyHistogram::bucket_index(150.0), 8);
+        assert_eq!(
+            LatencyHistogram::bucket_index(f64::MAX),
+            LATENCY_BUCKETS - 1
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_index(f64::INFINITY),
+            LATENCY_BUCKETS - 1
+        );
+        assert_eq!(LatencyHistogram::bucket_index(f64::NAN), 0);
+        assert_eq!(LatencyHistogram::bucket_index(-3.0), 0);
+        let (low, high) = LatencyHistogram::bucket_bounds(7);
+        assert_eq!((low, high), (64.0, 128.0));
+        assert_eq!(LatencyHistogram::bucket_bounds(0), (0.0, 1.0));
+        assert_eq!(
+            LatencyHistogram::bucket_bounds(LATENCY_BUCKETS - 1).1,
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = LatencyHistogram::new();
+        a.record_secs(80.0);
+        a.record_secs(90.0);
+        a.record_unfinished();
+        let mut b = LatencyHistogram::new();
+        b.record_secs(150.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.completed(), 3);
+        assert_eq!(ab.unfinished(), 1);
+        assert_eq!(ab.total(), 4);
+        assert_eq!(ab.bucket_count(7), 2);
+        assert_eq!(ab.bucket_count(8), 1);
+        assert_eq!(ab.bucket_count(999), 0);
+    }
+
+    #[test]
+    fn histogram_heals_malformed_bucket_vectors() {
+        // The fixed bucket count is an invariant of the type; the only way
+        // around the constructor is deserializing hand-edited JSON. Both
+        // record and merge must cope instead of panicking or dropping tail
+        // counts.
+        let mut short: LatencyHistogram =
+            serde_json::from_str(r#"{"buckets": [1, 2], "unfinished": 3}"#).unwrap();
+        short.record_secs(f64::INFINITY); // overflow bucket, far past len 2
+        assert_eq!(short.bucket_count(LATENCY_BUCKETS - 1), 1);
+        assert_eq!(short.completed(), 4);
+
+        let mut tall = LatencyHistogram::new();
+        tall.record_secs(f64::MAX);
+        let short_again: LatencyHistogram =
+            serde_json::from_str(r#"{"buckets": [5], "unfinished": 0}"#).unwrap();
+        tall.merge(&short_again);
+        assert_eq!(tall.bucket_count(0), 5);
+        assert_eq!(tall.completed(), 6);
+
+        let mut receiver: LatencyHistogram =
+            serde_json::from_str(r#"{"buckets": [], "unfinished": 1}"#).unwrap();
+        receiver.merge(&tall);
+        assert_eq!(receiver.completed(), 6);
+        assert_eq!(receiver.unfinished(), 1);
+
+        // An oversized vector folds its out-of-layout counts into the
+        // overflow bucket instead of dropping them.
+        let oversized_json = format!(
+            r#"{{"buckets": [{}], "unfinished": 0}}"#,
+            vec!["1"; LATENCY_BUCKETS + 2].join(", ")
+        );
+        let oversized: LatencyHistogram = serde_json::from_str(&oversized_json).unwrap();
+        let mut merged = LatencyHistogram::new();
+        merged.merge(&oversized);
+        assert_eq!(merged.completed(), (LATENCY_BUCKETS + 2) as u64);
+        assert_eq!(merged.bucket_count(LATENCY_BUCKETS - 1), 3);
+        let mut recorder = oversized;
+        recorder.record_secs(0.1);
+        assert_eq!(recorder.completed(), (LATENCY_BUCKETS + 3) as u64);
+        assert_eq!(recorder.bucket_count(LATENCY_BUCKETS - 1), 3);
+    }
+
+    #[test]
+    fn histogram_quantile_upper_bound() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.quantile_upper_bound(0.5).is_none());
+        h.record_secs(80.0); // bucket 7: [64, 128)
+        h.record_secs(90.0);
+        h.record_secs(150.0); // bucket 8: [128, 256)
+        assert_eq!(h.quantile_upper_bound(0.5), Some(128.0));
+        assert_eq!(h.quantile_upper_bound(1.0), Some(256.0));
+        assert_eq!(h.quantile_upper_bound(0.0), Some(128.0));
+    }
+
+    #[test]
+    fn report_latency_matches_job_map() {
+        let r = report();
+        assert_eq!(r.latency.total(), 4);
+        assert_eq!(r.latency.completed(), 4);
+        // Three jobs complete at 80 s, one at 150 s.
+        assert_eq!(r.latency.bucket_count(7), 3);
+        assert_eq!(r.latency.bucket_count(8), 1);
+    }
+
+    #[test]
+    fn merge_accumulates_disjoint_reports() {
+        let a = report_of(vec![
+            metrics(0, true, 600.0, 6.0, Some(2)),
+            metrics(1, false, 400.0, 4.0, None),
+        ]);
+        let b = report_of(vec![metrics(2, true, 200.0, 2.0, Some(1))]);
+        let mut merged = a.clone();
+        merged.merge(b.clone()).unwrap();
+        assert_eq!(merged.job_count(), 3);
+        assert_eq!(merged.events_processed, 198);
+        assert_eq!(merged.ended_at, SimTime::from_secs(500.0));
+        assert_eq!(merged.policy, "test");
+        assert_eq!(merged.latency.total(), 3);
+        assert!((merged.pocd() - 2.0 / 3.0).abs() < 1e-12);
+
+        // Commutative: merging the other way round gives the same report.
+        let mut reversed = b;
+        reversed.merge(a).unwrap();
+        assert_eq!(merged, reversed);
+    }
+
+    #[test]
+    fn merge_identity_is_default() {
+        let r = report();
+        let mut left = SimulationReport::default();
+        left.merge(r.clone()).unwrap();
+        assert_eq!(left, r);
+        let mut right = r.clone();
+        right.merge(SimulationReport::default()).unwrap();
+        assert_eq!(right, r);
+    }
+
+    #[test]
+    fn merge_rejects_duplicate_job_ids() {
+        let a = report_of(vec![metrics(0, true, 600.0, 6.0, None)]);
+        let b = report_of(vec![metrics(0, true, 200.0, 2.0, None)]);
+        let mut merged = a.clone();
+        let err = merged.merge(b).unwrap_err();
+        assert!(matches!(err, SimError::MergeConflict { .. }));
+        // The failed merge must leave the receiver untouched.
+        assert_eq!(merged, a);
+    }
+
+    #[test]
+    fn merge_unions_policy_labels() {
+        let mut a = report_of(vec![metrics(0, true, 1.0, 1.0, None)]);
+        let mut b = report_of(vec![metrics(1, true, 1.0, 1.0, None)]);
+        a.policy = "s-resume".to_string();
+        b.policy = "clone".to_string();
+        let mut ab = a.clone();
+        ab.merge(b.clone()).unwrap();
+        assert_eq!(ab.policy, "clone+s-resume");
+        let mut ba = b;
+        ba.merge(a).unwrap();
+        assert_eq!(ba.policy, "clone+s-resume");
+        // Merging the same label twice does not duplicate it.
+        let mut c = report_of(vec![metrics(2, true, 1.0, 1.0, None)]);
+        c.policy = "clone".to_string();
+        ab.merge(c).unwrap();
+        assert_eq!(ab.policy, "clone+s-resume");
+    }
+
+    #[test]
+    fn merged_folds_many_reports() {
+        let reports = vec![
+            report_of(vec![metrics(0, true, 600.0, 6.0, None)]),
+            report_of(vec![metrics(1, false, 400.0, 4.0, None)]),
+            report_of(vec![metrics(2, true, 200.0, 2.0, None)]),
+        ];
+        let merged = SimulationReport::merged(reports).unwrap();
+        assert_eq!(merged.job_count(), 3);
+        assert_eq!(merged.events_processed, 297);
+        assert_eq!(
+            SimulationReport::merged(Vec::new()).unwrap(),
+            SimulationReport::default()
+        );
     }
 }

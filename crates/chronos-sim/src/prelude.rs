@@ -2,13 +2,13 @@
 
 pub use crate::attempt::{Attempt, AttemptState};
 pub use crate::cluster::{Node, ResourceManager};
-pub use crate::config::{ClusterSpec, EstimatorKind, JvmModel, SimConfig};
+pub use crate::config::{ClusterSpec, EstimatorKind, JvmModel, ShardSpec, SimConfig};
 pub use crate::engine::Simulation;
 pub use crate::error::SimError;
 pub use crate::event::{Event, EventQueue};
 pub use crate::ids::{AttemptId, JobId, NodeId, TaskId};
 pub use crate::job::{JobRuntime, JobSpec, TaskRuntime, TaskSpec};
-pub use crate::metrics::{JobMetrics, SimulationReport};
+pub use crate::metrics::{JobMetrics, LatencyHistogram, SimulationReport};
 pub use crate::policy::{
     AttemptView, CheckSchedule, JobSubmitView, JobView, NoSpeculation, PolicyAction,
     SpeculationPolicy, SubmitDecision, TaskView,
@@ -17,4 +17,5 @@ pub use crate::progress::{
     estimate_completion, estimate_completion_chronos, estimate_completion_hadoop,
     estimate_resume_offset, estimation_error_secs, first_progress_report, ProgressReport,
 };
+pub use crate::shard::{shard_seed, splitmix64, PolicyFactory, ShardedRunner};
 pub use crate::time::{SimDuration, SimTime};

@@ -3,4 +3,4 @@
 pub use crate::contention::{ContentionLevel, ContentionModel};
 pub use crate::google::{GoogleTraceConfig, SyntheticTrace};
 pub use crate::pricing::{PriceModel, PricePath};
-pub use crate::workload::{Benchmark, TestbedWorkload};
+pub use crate::workload::{Benchmark, TestbedWorkload, WorkloadStream};

@@ -9,7 +9,7 @@
 //! used in Figure 2.
 
 use crate::contention::ContentionModel;
-use chronos_core::ChronosError;
+use chronos_core::{ChronosError, Pareto};
 use chronos_sim::prelude::{JobId, JobSpec, SimTime, TaskSpec};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -169,48 +169,21 @@ impl TestbedWorkload {
     /// Generates the job specifications for this workload, with job ids
     /// starting at `first_job_id`.
     ///
+    /// Equivalent to draining [`TestbedWorkload::stream_from`] into one
+    /// vector; for workloads large enough that materializing every spec at
+    /// once matters (the sharded runner's multi-million-job traces), use
+    /// the stream directly.
+    ///
     /// # Errors
     ///
     /// Propagates validation and distribution-construction failures.
     pub fn generate_from(&self, first_job_id: u64) -> Result<Vec<JobSpec>, ChronosError> {
-        self.validate()?;
-        let profile = self
-            .contention
-            .task_time_distribution(self.benchmark.t_min_secs())?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let spread = self.benchmark.split_spread();
-        let mut arrival = 0.0f64;
-        let mut specs = Vec::with_capacity(self.jobs as usize);
-        for index in 0..self.jobs {
-            // Exponential inter-arrivals via inverse CDF keeps the generator
-            // dependency-light and deterministic.
-            if index > 0 && self.mean_interarrival_secs > 0.0 {
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-                arrival += -self.mean_interarrival_secs * u.ln();
-            }
-            let tasks = (0..self.tasks_per_job)
-                .map(|_| {
-                    let jitter = if spread > 0.0 {
-                        rng.gen_range(-spread..=spread)
-                    } else {
-                        0.0
-                    };
-                    TaskSpec::sized(1.0 + jitter)
-                })
-                .collect();
-            specs.push(
-                JobSpec::new(
-                    JobId::new(first_job_id + u64::from(index)),
-                    SimTime::from_secs(arrival),
-                    self.benchmark.deadline_secs(),
-                    self.tasks_per_job as usize,
-                )
-                .with_profile(profile)
-                .with_price(self.price)
-                .with_tasks(tasks),
-            );
-        }
-        Ok(specs)
+        // One chunk covering the whole workload; `jobs == 0` is already
+        // rejected by validation inside `stream_from`.
+        Ok(self
+            .stream_from(first_job_id, self.jobs)?
+            .flatten()
+            .collect())
     }
 
     /// Generates the job specifications with ids starting at zero.
@@ -221,7 +194,143 @@ impl TestbedWorkload {
     pub fn generate(&self) -> Result<Vec<JobSpec>, ChronosError> {
         self.generate_from(0)
     }
+
+    /// Streams the workload as chunks of at most `chunk_size` job specs,
+    /// with ids starting at zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures; additionally rejects a zero
+    /// `chunk_size`.
+    pub fn stream(&self, chunk_size: u32) -> Result<WorkloadStream, ChronosError> {
+        self.stream_from(0, chunk_size)
+    }
+
+    /// Streams the workload as chunks of at most `chunk_size` job specs,
+    /// with ids starting at `first_job_id`.
+    ///
+    /// The stream carries the arrival clock and RNG forward from chunk to
+    /// chunk, so the concatenation of all chunks is **exactly** the
+    /// [`TestbedWorkload::generate_from`] output for any chunk size — only
+    /// peak memory changes. Chunks double as shard inputs for
+    /// `chronos_sim::shard::ShardedRunner::run_chunked`, which is how
+    /// million-job traces reach the simulator without ever existing as one
+    /// giant `Vec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures; additionally rejects a zero
+    /// `chunk_size`.
+    pub fn stream_from(
+        &self,
+        first_job_id: u64,
+        chunk_size: u32,
+    ) -> Result<WorkloadStream, ChronosError> {
+        self.validate()?;
+        if chunk_size == 0 {
+            return Err(ChronosError::invalid(
+                "chunk_size",
+                0.0,
+                "at least one job per chunk",
+            ));
+        }
+        let profile = self
+            .contention
+            .task_time_distribution(self.benchmark.t_min_secs())?;
+        Ok(WorkloadStream {
+            workload: *self,
+            profile,
+            rng: StdRng::seed_from_u64(self.seed),
+            arrival: 0.0,
+            next_index: 0,
+            chunk_size,
+            first_job_id,
+        })
+    }
 }
+
+/// Chunked iterator over a [`TestbedWorkload`]'s job specifications.
+///
+/// Yields `Vec<JobSpec>` chunks (each of `chunk_size` jobs, the final one
+/// possibly shorter) in submission order, keeping only one chunk in memory
+/// at a time. Created by [`TestbedWorkload::stream`] /
+/// [`TestbedWorkload::stream_from`].
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    workload: TestbedWorkload,
+    profile: Pareto,
+    rng: StdRng,
+    arrival: f64,
+    next_index: u32,
+    chunk_size: u32,
+    first_job_id: u64,
+}
+
+impl WorkloadStream {
+    /// Number of jobs not yet yielded.
+    #[must_use]
+    pub fn remaining_jobs(&self) -> u32 {
+        self.workload.jobs - self.next_index
+    }
+
+    /// Generates the next single job spec, advancing the arrival clock and
+    /// the RNG exactly as the batch generator would.
+    fn next_spec(&mut self) -> JobSpec {
+        let workload = &self.workload;
+        // Exponential inter-arrivals via inverse CDF keeps the generator
+        // dependency-light and deterministic.
+        if self.next_index > 0 && workload.mean_interarrival_secs > 0.0 {
+            let u: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+            self.arrival += -workload.mean_interarrival_secs * u.ln();
+        }
+        let spread = workload.benchmark.split_spread();
+        let tasks = (0..workload.tasks_per_job)
+            .map(|_| {
+                let jitter = if spread > 0.0 {
+                    self.rng.gen_range(-spread..=spread)
+                } else {
+                    0.0
+                };
+                TaskSpec::sized(1.0 + jitter)
+            })
+            .collect();
+        let spec = JobSpec::new(
+            JobId::new(self.first_job_id + u64::from(self.next_index)),
+            SimTime::from_secs(self.arrival),
+            workload.benchmark.deadline_secs(),
+            workload.tasks_per_job as usize,
+        )
+        .with_profile(self.profile)
+        .with_price(workload.price)
+        .with_tasks(tasks);
+        self.next_index += 1;
+        spec
+    }
+}
+
+impl Iterator for WorkloadStream {
+    type Item = Vec<JobSpec>;
+
+    fn next(&mut self) -> Option<Vec<JobSpec>> {
+        let remaining = self.remaining_jobs();
+        if remaining == 0 {
+            return None;
+        }
+        let size = remaining.min(self.chunk_size) as usize;
+        let mut chunk = Vec::with_capacity(size);
+        for _ in 0..size {
+            chunk.push(self.next_spec());
+        }
+        Some(chunk)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let chunks = self.remaining_jobs().div_ceil(self.chunk_size) as usize;
+        (chunks, Some(chunks))
+    }
+}
+
+impl ExactSizeIterator for WorkloadStream {}
 
 #[cfg(test)]
 mod tests {
@@ -302,6 +411,41 @@ mod tests {
             .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn stream_concatenation_equals_generate() {
+        let workload = TestbedWorkload::paper_setup(Benchmark::Sort, 9).with_jobs(25);
+        let batch = workload.generate_from(100).unwrap();
+        // Any chunk size — including ones that do not divide the job count
+        // and a single-chunk stream — reproduces the batch output exactly.
+        for chunk_size in [1, 4, 7, 25, 1000] {
+            let streamed: Vec<_> = workload
+                .stream_from(100, chunk_size)
+                .unwrap()
+                .flatten()
+                .collect();
+            assert_eq!(streamed, batch, "chunk_size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn stream_chunk_shapes() {
+        let workload = TestbedWorkload::paper_setup(Benchmark::Sort, 9).with_jobs(10);
+        let mut stream = workload.stream(4).unwrap();
+        assert_eq!(stream.len(), 3);
+        assert_eq!(stream.remaining_jobs(), 10);
+        let sizes: Vec<usize> = stream.by_ref().map(|chunk| chunk.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(stream.remaining_jobs(), 0);
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_rejects_zero_chunk_size() {
+        let workload = TestbedWorkload::paper_setup(Benchmark::Sort, 9);
+        assert!(workload.stream(0).is_err());
+        assert!(workload.stream(1).is_ok());
     }
 
     #[test]

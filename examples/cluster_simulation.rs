@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         progress_report_interval_secs: 1.0,
         seed: 11,
         max_events: 0,
+        sharding: ShardSpec::default(),
     };
 
     let theta = 1e-4;

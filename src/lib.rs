@@ -54,8 +54,9 @@ pub use chronos_trace as trace;
 pub mod prelude {
     pub use chronos_core::prelude::*;
     pub use chronos_sim::prelude::{
-        ClusterSpec, EstimatorKind, JobId, JobSpec, JvmModel, SimConfig, SimError, SimTime,
-        Simulation, SimulationReport, SpeculationPolicy, TaskSpec,
+        shard_seed, ClusterSpec, EstimatorKind, JobId, JobSpec, JvmModel, LatencyHistogram,
+        ShardSpec, ShardedRunner, SimConfig, SimError, SimTime, Simulation, SimulationReport,
+        SpeculationPolicy, TaskSpec,
     };
     pub use chronos_strategies::prelude::{
         ChronosPolicyConfig, ClonePolicy, HadoopNoSpec, HadoopSpeculate, MantriPolicy, PolicyKind,
@@ -63,7 +64,7 @@ pub mod prelude {
     };
     pub use chronos_trace::prelude::{
         Benchmark, ContentionLevel, ContentionModel, GoogleTraceConfig, PriceModel, SyntheticTrace,
-        TestbedWorkload,
+        TestbedWorkload, WorkloadStream,
     };
 }
 

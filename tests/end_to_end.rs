@@ -22,6 +22,7 @@ fn testbed_config(seed: u64) -> SimConfig {
         progress_report_interval_secs: 1.0,
         seed,
         max_events: 0,
+        sharding: ShardSpec::default(),
     }
 }
 
@@ -93,6 +94,7 @@ fn figure3_mantri_is_expensive() {
         progress_report_interval_secs: 1.0,
         seed: 9,
         max_events: 0,
+        sharding: ShardSpec::default(),
     };
     let chronos_config = ChronosPolicyConfig::with_theta(1e-4)
         .unwrap()
@@ -125,6 +127,7 @@ fn figure5_histogram_shifts_down_with_theta() {
         progress_report_interval_secs: 1.0,
         seed: 2,
         max_events: 0,
+        sharding: ShardSpec::default(),
     };
     let mean_r = |report: &SimulationReport| {
         let histogram = report.chosen_r_histogram();
@@ -173,6 +176,7 @@ fn figure4_heavier_tails_cost_more() {
         progress_report_interval_secs: 1.0,
         seed: 4,
         max_events: 0,
+        sharding: ShardSpec::default(),
     };
     let chronos_config =
         ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default());

@@ -1,12 +1,16 @@
 //! Criterion bench for the sharded runner: end-to-end workload throughput
 //! (generation-to-merged-report) at 1, 2 and 4 worker threads, plus the
-//! single-threaded `Simulation` as the unsharded reference point.
+//! single-threaded `Simulation` as the unsharded reference point, plus the
+//! trace-replay path (file-parse-to-merged-report) at 1 and 4 workers.
 //!
 //! Setting `CHRONOS_BENCH_SMOKE=1` shrinks the workload and takes a single
 //! sample — the CI `bench-smoke` job uses this to catch panics and API rot
 //! without paying (or trusting) real measurement time on shared runners.
 
-use chronos_bench::{run_policy, sharded_bench_config, sharded_bench_stream};
+use chronos_bench::{
+    replay_sharded_bench_trace, run_policy, sharded_bench_config, sharded_bench_stream,
+    write_sharded_bench_trace,
+};
 use chronos_sim::prelude::*;
 use chronos_strategies::prelude::*;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -48,12 +52,38 @@ fn bench_sharded_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Replay-path throughput: the same workload parsed back from a
+/// `chronos-trace` v1 file and replayed through `run_chunked_fallible`.
+/// The measured iteration includes the file parse — that is what a loaded
+/// trace costs — so comparing against `sharded-throughput/workers` isolates
+/// the ingestion overhead. The file is written once, outside the timer.
+fn bench_replay_throughput(c: &mut Criterion) {
+    let jobs: u32 = if smoke() { 500 } else { 10_000 };
+    let dir = std::env::temp_dir().join(format!("chronos-bench-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create replay scratch dir");
+    let path = dir.join("throughput.trace");
+    write_sharded_bench_trace(&path, jobs).expect("write bench trace");
+
+    let mut group = c.benchmark_group(format!("replay-throughput-{jobs}-jobs"));
+    if smoke() {
+        group.sample_size(1);
+        group.measurement_time(Duration::from_millis(1));
+    }
+    for workers in [1u32, 4] {
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| replay_sharded_bench_trace(&path, jobs, workers))
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(if std::env::var_os("CHRONOS_BENCH_SMOKE").is_some() { 1 } else { 500 }))
         .measurement_time(Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_sharded_throughput
+    targets = bench_sharded_throughput, bench_replay_throughput
 );
 criterion_main!(benches);

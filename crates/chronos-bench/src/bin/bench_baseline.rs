@@ -23,12 +23,15 @@
 //!
 //! What check mode **does** fail on: panics anywhere in the run, a
 //! violated in-process sharding determinism invariant (`measure` asserts
-//! 1-worker and 4-worker reports are bit-identical), and a missing,
-//! unparseable or schema/workload-mismatched snapshot — the signals CI's
-//! `bench-smoke` step exists to catch.
+//! 1-worker and 4-worker reports are bit-identical), a violated on-disk
+//! round-trip invariant (the `replay/*` entry re-runs the same workload
+//! from a `chronos-trace` file and must merge to the identical report), and
+//! a missing, unparseable or schema/workload-mismatched snapshot — the
+//! signals CI's `bench-smoke` step exists to catch.
 
 use chronos_bench::{
-    sharded_bench_config, sharded_bench_stream, SHARDED_BENCH_SEED, SHARDED_BENCH_SHARDS,
+    replay_sharded_bench_trace, sharded_bench_config, sharded_bench_stream,
+    write_sharded_bench_trace, SHARDED_BENCH_SEED, SHARDED_BENCH_SHARDS,
     SHARDED_BENCH_TASKS_PER_JOB,
 };
 use chronos_sim::prelude::*;
@@ -112,9 +115,37 @@ fn run_config(
     (entry, report)
 }
 
-/// Runs every baseline configuration, asserting the worker-count
-/// determinism invariant along the way (a panic here is a regression the
-/// CI smoke step must catch).
+/// Times the trace-replay path: the same workload written to disk once,
+/// then parsed + replayed through `run_chunked_fallible`. The wall clock
+/// deliberately includes the file parse — that *is* the replay path a
+/// loaded trace pays — and the report is asserted bit-identical to the
+/// in-memory run, extending the determinism gate across the on-disk round
+/// trip.
+fn run_replay_config(workers: u32) -> (BaselineEntry, SimulationReport) {
+    let dir = std::env::temp_dir().join(format!("chronos-bench-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create replay scratch dir");
+    let path = dir.join("bench_baseline.trace");
+    write_sharded_bench_trace(&path, JOBS).expect("write bench trace");
+    let start = Instant::now();
+    let report = replay_sharded_bench_trace(&path, JOBS, workers);
+    let wall = start.elapsed();
+    let _ = std::fs::remove_dir_all(dir);
+    let entry = BaselineEntry {
+        name: format!("replay/workers-{workers}"),
+        workers,
+        jobs: report.job_count(),
+        events_processed: report.events_processed,
+        total_attempts: report.total_attempts(),
+        pocd: report.pocd(),
+        wall_ms: wall.as_secs_f64() * 1_000.0,
+        events_per_sec: report.events_processed as f64 / wall.as_secs_f64().max(1e-9),
+    };
+    (entry, report)
+}
+
+/// Runs every baseline configuration, asserting the worker-count and
+/// on-disk round-trip determinism invariants along the way (a panic here is
+/// a regression the CI smoke step must catch).
 fn measure() -> Baseline {
     let ns: &(dyn Fn() -> Box<dyn SpeculationPolicy> + Sync) =
         &|| Box::new(HadoopNoSpec::default());
@@ -128,11 +159,16 @@ fn measure() -> Baseline {
         "sharding determinism violated: 1-worker and 4-worker reports differ"
     );
     let (resume_4, _) = run_config("s-resume", 4, resume);
+    let (replay_4, replay_4_report) = run_replay_config(4);
+    assert_eq!(
+        ns_4_report, replay_4_report,
+        "trace round-trip determinism violated: file replay differs from the in-memory run"
+    );
 
     Baseline {
         schema_version: SCHEMA_VERSION,
         workload: workload_meta(),
-        entries: vec![ns_1, ns_4, resume_4],
+        entries: vec![ns_1, ns_4, resume_4, replay_4],
     }
 }
 

@@ -5,10 +5,14 @@
 //! `τ_est = 0.3·t_min`, `τ_kill = 0.6·t_min`, cost in VM-seconds per job.
 //! Mantri does not optimize against θ, so its PoCD and cost are constant
 //! across the sweep; only its utility changes.
+//!
+//! `--trace <path>` swaps the synthetic source for a `chronos-trace` v1
+//! file (see `chronos_trace::loader` for the format); the θ sweep is
+//! unchanged.
 
 use chronos_bench::{
-    figure3_lineup, measure, print_table, run_policy, trace_sim_config, write_json, Measurement,
-    Row, Scale, UtilitySpec,
+    figure3_lineup, load_trace_jobs_or_exit, measure, print_table, run_policy,
+    trace_path_from_args, trace_sim_config, write_json, Measurement, Row, Scale, UtilitySpec,
 };
 use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
@@ -27,10 +31,13 @@ struct Fig3Cell {
 fn main() {
     let scale = Scale::from_args();
     let thetas = [1e-6, 1e-5, 1e-4, 1e-3];
-    let trace = GoogleTraceConfig::scaled(scale.trace_jobs(), 23)
-        .generate()
-        .expect("trace generation");
-    let jobs = trace.into_jobs();
+    let jobs = match trace_path_from_args() {
+        Some(path) => load_trace_jobs_or_exit(&path),
+        None => GoogleTraceConfig::scaled(scale.trace_jobs(), 23)
+            .generate()
+            .expect("trace generation")
+            .into_jobs(),
+    };
 
     let mut cells: Vec<Fig3Cell> = Vec::new();
     for (index, theta) in thetas.iter().enumerate() {

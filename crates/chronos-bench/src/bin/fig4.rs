@@ -4,18 +4,28 @@
 //! Trace-driven setup (Section VII.B): deadlines are twice the mean task
 //! execution time; a smaller β means a heavier tail, longer tasks and higher
 //! cost.
+//!
+//! `--trace <path>` swaps the synthetic source for a `chronos-trace` v1
+//! file (see `chronos_trace::loader` for the format). A loaded file carries
+//! its own per-job tail indices, so the β sweep collapses to a single sweep
+//! point labelled `trace` (its `beta` is `null` in the JSON artifact).
 
 use chronos_bench::{
-    figure2_lineup, measure, print_table, run_policy, trace_sim_config, write_json, Row, Scale,
-    UtilitySpec,
+    figure2_lineup, load_trace_jobs_or_exit, measure, print_table, run_policy,
+    trace_path_from_args, trace_sim_config, write_json, Row, Scale, UtilitySpec,
 };
+use chronos_sim::prelude::JobSpec;
 use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
 struct Fig4Cell {
-    beta: f64,
+    /// The swept tail index, or `None` when the jobs came from a trace file
+    /// (whose per-job profiles carry their own β).
+    beta: Option<f64>,
+    /// Sweep-point label: `"1.1"` … `"1.9"`, or `"trace"`.
+    sweep: String,
     policy: String,
     pocd: f64,
     cost: f64,
@@ -31,21 +41,32 @@ fn main() {
         .expect("theta is valid")
         .with_timing(StrategyTiming::trace_default());
 
-    let mut cells: Vec<Fig4Cell> = Vec::new();
-    for (index, beta) in betas.iter().enumerate() {
-        let trace = GoogleTraceConfig::scaled(scale.trace_jobs(), 31)
-            .with_beta(*beta)
-            .with_deadline_factor(2.0)
-            .generate()
-            .expect("trace generation");
-        let jobs = trace.into_jobs();
+    // Each sweep point: a label, the β it swept (if any), and its workload.
+    let sweep: Vec<(String, Option<f64>, Vec<JobSpec>)> = match trace_path_from_args() {
+        Some(path) => vec![("trace".to_string(), None, load_trace_jobs_or_exit(&path))],
+        None => betas
+            .iter()
+            .map(|beta| {
+                let jobs = GoogleTraceConfig::scaled(scale.trace_jobs(), 31)
+                    .with_beta(*beta)
+                    .with_deadline_factor(2.0)
+                    .generate()
+                    .expect("trace generation")
+                    .into_jobs();
+                (format!("{beta:.1}"), Some(*beta), jobs)
+            })
+            .collect(),
+    };
 
+    let mut cells: Vec<Fig4Cell> = Vec::new();
+    for (index, (label, beta, jobs)) in sweep.iter().enumerate() {
         for (kind, policy) in figure2_lineup(chronos_config) {
             let report = run_policy(&trace_sim_config(37 + index as u64), policy, jobs.clone())
                 .expect("simulation");
             let m = measure(&report, UtilitySpec::new(theta, 0.0));
             cells.push(Fig4Cell {
                 beta: *beta,
+                sweep: label.clone(),
                 policy: kind.label().to_string(),
                 pocd: m.pocd,
                 cost: m.mean_machine_time,
@@ -56,20 +77,20 @@ fn main() {
 
     let policies = ["hadoop-ns", "hadoop-s", "clone", "s-restart", "s-resume"];
     let table_for = |metric: &dyn Fn(&Fig4Cell) -> f64| -> Vec<Row> {
-        betas
+        sweep
             .iter()
-            .map(|beta| {
+            .map(|(label, _, _)| {
                 let values = policies
                     .iter()
                     .map(|policy| {
                         cells
                             .iter()
-                            .find(|c| c.policy == *policy && c.beta == *beta)
+                            .find(|c| c.policy == *policy && c.sweep == *label)
                             .map(metric)
                             .unwrap_or(f64::NAN)
                     })
                     .collect();
-                Row::new(format!("beta = {beta:.1}"), values)
+                Row::new(format!("beta = {label}"), values)
             })
             .collect()
     };

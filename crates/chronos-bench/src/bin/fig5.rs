@@ -4,9 +4,13 @@
 //! In the paper the modal `r` drops from 2 to 1 for Clone and from 4 to 3
 //! for S-Resume as θ grows by a factor of ten; this binary reports the full
 //! per-job histogram measured on the synthetic Google-style trace.
+//!
+//! `--trace <path>` swaps the synthetic source for a `chronos-trace` v1
+//! file (see `chronos_trace::loader` for the format).
 
 use chronos_bench::{
-    measure, print_table, run_policy, trace_sim_config, write_json, Row, Scale, UtilitySpec,
+    load_trace_jobs_or_exit, measure, print_table, run_policy, trace_path_from_args,
+    trace_sim_config, write_json, Row, Scale, UtilitySpec,
 };
 use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
@@ -23,10 +27,13 @@ struct Fig5Series {
 
 fn main() {
     let scale = Scale::from_args();
-    let trace = GoogleTraceConfig::scaled(scale.trace_jobs(), 41)
-        .generate()
-        .expect("trace generation");
-    let jobs = trace.into_jobs();
+    let jobs = match trace_path_from_args() {
+        Some(path) => load_trace_jobs_or_exit(&path),
+        None => GoogleTraceConfig::scaled(scale.trace_jobs(), 41)
+            .generate()
+            .expect("trace generation")
+            .into_jobs(),
+    };
 
     let mut series = Vec::new();
     for theta in [1e-5, 1e-4] {

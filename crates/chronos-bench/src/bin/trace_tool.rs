@@ -1,0 +1,163 @@
+//! Command-line companion of `chronos_trace::loader`: generates
+//! `chronos-trace` v1 files from the synthetic Google-style model and
+//! replays them (or the equivalent in-memory stream) through the sharded
+//! runner, writing the merged simulation report as JSON.
+//!
+//! CI's `trace-replay-smoke` job is the canonical user: it generates a
+//! trace with `TraceWriter`, replays it from the file at 8 workers, replays
+//! the same jobs in-memory at 1 worker, and byte-compares the two report
+//! JSONs — pinning the whole write → parse → shard → merge pipeline to the
+//! in-memory path, worker-count invariance included.
+//!
+//! ```text
+//! trace_tool generate --jobs N --seed S --out trace.csv [--chunk-size C]
+//! trace_tool replay --trace trace.csv   [--workers W] [--chunk-size C] [--out report.json]
+//! trace_tool replay --jobs N --seed S   [--workers W] [--chunk-size C] [--out report.json]
+//! ```
+//!
+//! Both replay forms use the same fixed simulator configuration and seed,
+//! the Hadoop-NS policy and the same default chunk size, so their reports
+//! are bit-identical whenever the trace file round-trips exactly. The
+//! chunk structure is the shard structure: replays with different
+//! `--chunk-size` are different experiments (see the sharding module docs).
+
+use chronos_sim::prelude::*;
+use chronos_strategies::prelude::*;
+use chronos_trace::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Simulation seed shared by both replay forms (per-shard seeds derive from
+/// it; it must not depend on the job source).
+const SIM_SEED: u64 = 47;
+
+/// Default chunk size: small enough that CI-scale traces still exercise
+/// several shards, large enough that million-job files stay cheap to chunk.
+const DEFAULT_CHUNK_SIZE: u32 = 512;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  trace_tool generate --jobs N --seed S --out PATH [--chunk-size C]\n  \
+         trace_tool replay --trace PATH [--workers W] [--chunk-size C] [--out PATH]\n  \
+         trace_tool replay --jobs N --seed S [--workers W] [--chunk-size C] [--out PATH]"
+    );
+    ExitCode::from(2)
+}
+
+/// Looks up the value following `flag`, parsed with `FromStr`.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(index) => match args.get(index + 1) {
+            None => Err(format!("{flag} needs a value")),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("{flag}: `{raw}` is not a valid value")),
+        },
+    }
+}
+
+/// The simulator configuration of both replay forms: the trace-driven
+/// datacenter-scale pool of Figures 3–5, sharded with `workers` threads.
+fn replay_config(workers: u32) -> SimConfig {
+    SimConfig {
+        cluster: ClusterSpec::homogeneous(1_000, 8),
+        jvm: JvmModel::default(),
+        estimator: EstimatorKind::HadoopDefault,
+        progress_report_interval_secs: 1.0,
+        seed: SIM_SEED,
+        max_events: 0,
+        sharding: ShardSpec::new(1, workers),
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let jobs: u32 = flag_value(args, "--jobs")?.ok_or("generate needs --jobs")?;
+    let seed: u64 = flag_value(args, "--seed")?.ok_or("generate needs --seed")?;
+    let out: PathBuf = flag_value(args, "--out")?.ok_or("generate needs --out")?;
+    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
+
+    let stream = GoogleTraceConfig::scaled(jobs, seed)
+        .stream(chunk_size)
+        .map_err(|err| format!("trace generation: {err}"))?;
+    let mut writer = TraceWriter::create(&out, Some(u64::from(jobs)))
+        .map_err(|err| format!("creating {}: {err}", out.display()))?;
+    for chunk in stream {
+        writer
+            .write_all(&chunk)
+            .map_err(|err| format!("writing {}: {err}", out.display()))?;
+    }
+    writer
+        .finish()
+        .map_err(|err| format!("finishing {}: {err}", out.display()))?;
+    println!("wrote {jobs} jobs -> {}", out.display());
+    Ok(())
+}
+
+fn write_report(report: &SimulationReport, out: Option<&Path>) -> Result<(), String> {
+    let json =
+        serde_json::to_string_pretty(report).map_err(|err| format!("serializing report: {err}"))?;
+    match out {
+        Some(path) => {
+            std::fs::write(path, json + "\n")
+                .map_err(|err| format!("writing {}: {err}", path.display()))?;
+            println!(
+                "replayed {} jobs ({} events) -> {}",
+                report.job_count(),
+                report.events_processed,
+                path.display()
+            );
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn replay(args: &[String]) -> Result<(), String> {
+    let workers: u32 = flag_value(args, "--workers")?.unwrap_or(4);
+    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
+    let out: Option<PathBuf> = flag_value(args, "--out")?;
+    let trace: Option<PathBuf> = flag_value(args, "--trace")?;
+
+    let runner =
+        ShardedRunner::new(replay_config(workers)).map_err(|err| format!("config: {err}"))?;
+    let report = match trace {
+        Some(path) => {
+            let stream = TraceLoader::open(&path)
+                .map_err(|err| format!("opening {}: {err}", path.display()))?
+                .stream(chunk_size)
+                .map_err(|err| err.to_string())?;
+            runner
+                .run_chunked_fallible(stream, |_| Box::new(HadoopNoSpec::default()))
+                .map_err(|err| format!("replaying {}: {err}", path.display()))?
+        }
+        None => {
+            let jobs: u32 = flag_value(args, "--jobs")?.ok_or("replay needs --trace or --jobs")?;
+            let seed: u64 = flag_value(args, "--seed")?.ok_or("replay needs --seed with --jobs")?;
+            let stream = GoogleTraceConfig::scaled(jobs, seed)
+                .stream(chunk_size)
+                .map_err(|err| format!("trace generation: {err}"))?;
+            runner
+                .run_chunked(stream, |_| Box::new(HadoopNoSpec::default()))
+                .map_err(|err| format!("replaying in-memory trace: {err}"))?
+        }
+    };
+    write_report(&report, out.as_deref())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let outcome = match args.get(1).map(String::as_str) {
+        Some("generate") => generate(&args[2..]),
+        Some("replay") => replay(&args[2..]),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("trace_tool: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -27,7 +27,10 @@
 
 use chronos_sim::prelude::*;
 use chronos_strategies::prelude::*;
-use chronos_trace::prelude::{Benchmark, TestbedWorkload, WorkloadStream};
+use chronos_trace::prelude::{
+    Benchmark, TestbedWorkload, TraceLoader, TraceParseError, TraceWriteError, TraceWriter,
+    WorkloadStream,
+};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
@@ -192,6 +195,106 @@ pub fn sharded_bench_config(workers: u32) -> SimConfig {
         max_events: 0,
         sharding: ShardSpec::new(SHARDED_BENCH_SHARDS, workers),
     }
+}
+
+/// Parses an optional `--trace <path>` flag from an explicit flag list
+/// (testable form of [`trace_path_from_args`]). Accepts both the
+/// space-separated (`--trace file`) and `=`-joined (`--trace=file`) forms.
+///
+/// # Errors
+///
+/// A `--trace` with no path is an error, not an absent flag: falling back
+/// to synthetic data when the user asked for a file would silently publish
+/// the wrong numbers.
+pub fn trace_path_from_flags(flags: &[String]) -> Result<Option<PathBuf>, String> {
+    if let Some(joined) = flags.iter().find_map(|flag| flag.strip_prefix("--trace=")) {
+        if joined.is_empty() {
+            return Err("--trace= needs a path".into());
+        }
+        return Ok(Some(PathBuf::from(joined)));
+    }
+    match flags.iter().position(|flag| flag == "--trace") {
+        None => Ok(None),
+        Some(index) => match flags.get(index + 1) {
+            Some(path) => Ok(Some(PathBuf::from(path))),
+            None => Err("--trace needs a path".into()),
+        },
+    }
+}
+
+/// Parses an optional `--trace <path>` flag from the process arguments.
+/// The trace-driven binaries (`fig3`, `fig4`, `fig5`) use it to swap the
+/// synthetic Google-style source for a `chronos-trace` v1 file. A dangling
+/// `--trace` prints a diagnostic and exits 2 rather than silently running
+/// the synthetic workload.
+#[must_use]
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    trace_path_from_flags(&args).unwrap_or_else(|err| {
+        eprintln!("{err}");
+        std::process::exit(2);
+    })
+}
+
+/// Loads a whole trace file into validated job specs.
+///
+/// # Errors
+///
+/// Propagates the loader's typed parse errors (naming line/column).
+pub fn load_trace_jobs(path: &Path) -> Result<Vec<JobSpec>, TraceParseError> {
+    TraceLoader::open(path)?.load()
+}
+
+/// [`load_trace_jobs`] with the experiment binaries' shared error handling:
+/// a parse failure prints the typed diagnostic to stderr and exits 2.
+#[must_use]
+pub fn load_trace_jobs_or_exit(path: &Path) -> Vec<JobSpec> {
+    load_trace_jobs(path).unwrap_or_else(|err| {
+        eprintln!("failed to load trace {}: {err}", path.display());
+        std::process::exit(2);
+    })
+}
+
+/// The chunk size [`sharded_bench_stream`] shards `jobs` into; replays of a
+/// trace file written from that stream must use the same value so the chunk
+/// structure (= shard structure) matches and reports stay bit-comparable.
+#[must_use]
+pub fn sharded_bench_chunk_size(jobs: u32) -> u32 {
+    jobs.div_ceil(SHARDED_BENCH_SHARDS)
+}
+
+/// Writes the [`sharded_bench_stream`] workload to `path` as a
+/// `chronos-trace` v1 file, streaming chunk by chunk (the full spec list is
+/// never materialized). Shared by the `throughput` Criterion bench and the
+/// `bench_baseline` recorder so their replay numbers measure the same
+/// bytes.
+///
+/// # Errors
+///
+/// Propagates [`TraceWriter`] failures.
+pub fn write_sharded_bench_trace(path: &Path, jobs: u32) -> Result<(), TraceWriteError> {
+    let mut writer = TraceWriter::create(path, Some(u64::from(jobs)))?;
+    for chunk in sharded_bench_stream(jobs) {
+        writer.write_all(&chunk)?;
+    }
+    writer.finish()?;
+    Ok(())
+}
+
+/// Replays a trace file written by [`write_sharded_bench_trace`] through
+/// `ShardedRunner::run_chunked_fallible` under [`sharded_bench_config`]
+/// with the Hadoop-NS policy — the replay path the baseline and bench time.
+/// Panics on any parse or simulation error (bench context).
+#[must_use]
+pub fn replay_sharded_bench_trace(path: &Path, jobs: u32, workers: u32) -> SimulationReport {
+    let runner = ShardedRunner::new(sharded_bench_config(workers)).expect("valid config");
+    let stream = TraceLoader::open(path)
+        .expect("bench trace opens")
+        .stream(sharded_bench_chunk_size(jobs))
+        .expect("non-zero chunk size");
+    runner
+        .run_chunked_fallible(stream, |_| Box::new(HadoopNoSpec::default()))
+        .expect("bench trace replays")
 }
 
 /// Experiment scale selected on the command line: `--quick` shrinks the
@@ -435,6 +538,44 @@ mod tests {
         let fig3 = figure3_lineup(config);
         assert_eq!(fig3.len(), 4);
         assert_eq!(fig3[0].0, PolicyKind::Mantri);
+    }
+
+    #[test]
+    fn trace_flag_parsing() {
+        assert_eq!(trace_path_from_flags(&["bin".into()]), Ok(None));
+        assert_eq!(
+            trace_path_from_flags(&["bin".into(), "--trace".into(), "t.csv".into()]),
+            Ok(Some(PathBuf::from("t.csv")))
+        );
+        assert_eq!(
+            trace_path_from_flags(&["bin".into(), "--trace=t.csv".into()]),
+            Ok(Some(PathBuf::from("t.csv")))
+        );
+        // A dangling flag is an error, never a silent synthetic fallback.
+        assert!(trace_path_from_flags(&["bin".into(), "--trace".into()]).is_err());
+        assert!(trace_path_from_flags(&["bin".into(), "--trace=".into()]).is_err());
+    }
+
+    #[test]
+    fn bench_trace_round_trip_matches_in_memory_stream() {
+        let jobs = 600u32;
+        let dir = std::env::temp_dir().join(format!("chronos-bench-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.trace");
+        write_sharded_bench_trace(&path, jobs).unwrap();
+        let loaded = load_trace_jobs(&path).unwrap();
+        let in_memory: Vec<JobSpec> = sharded_bench_stream(jobs).flatten().collect();
+        assert_eq!(loaded, in_memory);
+        // Replaying the file equals replaying the in-memory stream.
+        let replayed = replay_sharded_bench_trace(&path, jobs, 2);
+        let runner = ShardedRunner::new(sharded_bench_config(1)).unwrap();
+        let direct = runner
+            .run_chunked(sharded_bench_stream(jobs), |_| {
+                Box::new(HadoopNoSpec::default())
+            })
+            .unwrap();
+        assert_eq!(replayed, direct);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

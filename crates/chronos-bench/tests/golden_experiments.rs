@@ -1,11 +1,12 @@
 //! Golden-output tests for the experiment binaries.
 //!
-//! `fig2` and `table1` embed fixed seeds, so their `--quick` JSON artifacts
-//! are fully deterministic (verified identical across debug and release
-//! builds). Each test runs the real binary into a scratch results
-//! directory and compares the artifact against a checked-in golden copy,
-//! turning "the experiment harness silently drifted" into a `cargo test`
-//! failure instead of a manual-inspection hazard.
+//! `fig2`, `table1`, `fig3` and `table2` embed fixed seeds, so their
+//! `--quick` JSON artifacts are fully deterministic (verified identical
+//! across debug and release builds). Each test runs the real binary into a
+//! scratch results directory and compares the artifact against a
+//! checked-in golden copy, turning "the experiment harness silently
+//! drifted" into a `cargo test` failure instead of a manual-inspection
+//! hazard.
 //!
 //! To regenerate a golden after an *intentional* change:
 //!
@@ -116,5 +117,25 @@ fn table1_quick_matches_golden() {
         "table1",
         "table1.json",
         "table1_quick.json",
+    );
+}
+
+#[test]
+fn fig3_quick_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig3"),
+        "fig3",
+        "fig3.json",
+        "fig3_quick.json",
+    );
+}
+
+#[test]
+fn table2_quick_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_table2"),
+        "table2",
+        "table2.json",
+        "table2_quick.json",
     );
 }

@@ -17,5 +17,5 @@ pub use crate::progress::{
     estimate_completion, estimate_completion_chronos, estimate_completion_hadoop,
     estimate_resume_offset, estimation_error_secs, first_progress_report, ProgressReport,
 };
-pub use crate::shard::{shard_seed, splitmix64, PolicyFactory, ShardedRunner};
+pub use crate::shard::{shard_seed, splitmix64, PolicyFactory, ReplayError, ShardedRunner};
 pub use crate::time::{SimDuration, SimTime};

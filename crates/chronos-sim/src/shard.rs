@@ -80,6 +80,38 @@ pub fn shard_seed(base: u64, shard: u64) -> u64 {
     splitmix64(base ^ splitmix64(shard))
 }
 
+/// Error of a fallible chunked replay ([`ShardedRunner::run_chunked_fallible`]):
+/// either the chunk *source* failed (a trace file stopped parsing, a
+/// generator hit an invalid configuration) or the *simulation* of a shard
+/// did. Source errors take precedence — once the source fails, any report
+/// assembled from the prefix is discarded, so a truncated trace can never
+/// masquerade as a completed replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError<E> {
+    /// The chunk source yielded an error instead of a chunk.
+    Source(E),
+    /// A shard simulation (or the report merge) failed.
+    Sim(SimError),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for ReplayError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Source(err) => write!(f, "chunk source error: {err}"),
+            ReplayError::Sim(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl<E: std::error::Error + 'static> std::error::Error for ReplayError<E> {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Source(err) => Some(err),
+            ReplayError::Sim(err) => Some(err),
+        }
+    }
+}
+
 /// Builds the policy instance for one shard. Each shard needs its own
 /// instance because policies are stateful (`&mut self` callbacks); the
 /// factory receives the shard index so heterogeneous-per-shard setups are
@@ -180,6 +212,51 @@ impl ShardedRunner {
         self.run_chunks_with(workers, chunks, &build_policy)
     }
 
+    /// Runs a workload delivered as *fallible* chunks — the trace-replay
+    /// entry point, fed by sources that can fail mid-stream, like
+    /// `chronos-trace`'s file-backed `TraceStream`.
+    ///
+    /// Chunk-to-shard mapping, worker semantics and determinism are those
+    /// of [`ShardedRunner::run_chunked`]. When the source yields `Err`, the
+    /// stream ends there: workers stop pulling, shards already running
+    /// finish, and the call returns [`ReplayError::Source`] — the partial
+    /// report of the parsed prefix is discarded, never returned. A source
+    /// that errors on its very first pull therefore costs no simulation
+    /// work beyond the chunks pulled before the failure.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::Source`] with the source's first error (it takes
+    /// precedence over any simulation error), or [`ReplayError::Sim`]
+    /// carrying the same failures [`ShardedRunner::run_chunked`] produces.
+    pub fn run_chunked_fallible<I, E, F>(
+        &self,
+        chunks: I,
+        build_policy: F,
+    ) -> Result<SimulationReport, ReplayError<E>>
+    where
+        I: IntoIterator<Item = Result<Vec<JobSpec>, E>>,
+        I::IntoIter: Send,
+        E: Send,
+        F: Fn(u64) -> Box<dyn SpeculationPolicy> + Sync,
+    {
+        let source_error: Mutex<Option<E>> = Mutex::new(None);
+        let adapter = FallibleChunks {
+            inner: chunks.into_iter(),
+            slot: &source_error,
+            done: false,
+        };
+        let workers = self.config.sharding.requested_workers() as usize;
+        let outcome = self.run_chunks_with(workers, adapter, &build_policy);
+        if let Some(err) = source_error
+            .into_inner()
+            .expect("source error lock poisoned")
+        {
+            return Err(ReplayError::Source(err));
+        }
+        outcome.map_err(ReplayError::Sim)
+    }
+
     /// Shared worker-pool core of [`ShardedRunner::run`] (which clamps
     /// `workers` to its known shard count) and
     /// [`ShardedRunner::run_chunked`] (which cannot, the chunk count being
@@ -260,6 +337,45 @@ impl ShardedRunner {
         let mut sim = Simulation::new(config, build_policy(shard))?;
         sim.submit_all(jobs)?;
         sim.run()
+    }
+}
+
+/// Adapter that feeds a fallible chunk source into the infallible
+/// worker-pool core: the first `Err` ends the stream (workers see a plain
+/// end-of-queue, stop pulling, and drain) and is parked in `slot` for
+/// [`ShardedRunner::run_chunked_fallible`] to surface once the pool joins.
+struct FallibleChunks<'a, I, E> {
+    inner: I,
+    slot: &'a Mutex<Option<E>>,
+    /// Set on the first `Err` so a non-fused source is never polled again.
+    done: bool,
+}
+
+impl<I, E> Iterator for FallibleChunks<'_, I, E>
+where
+    I: Iterator<Item = Result<Vec<JobSpec>, E>>,
+{
+    type Item = Vec<JobSpec>;
+
+    fn next(&mut self) -> Option<Vec<JobSpec>> {
+        if self.done {
+            return None;
+        }
+        match self.inner.next() {
+            Some(Ok(chunk)) => Some(chunk),
+            Some(Err(err)) => {
+                self.done = true;
+                let mut slot = self.slot.lock().expect("source error lock poisoned");
+                // Keep the first error: the queue lock serializes pulls, so
+                // this branch runs at most once anyway, but belt and braces.
+                slot.get_or_insert(err);
+                None
+            }
+            None => {
+                self.done = true;
+                None
+            }
+        }
     }
 }
 
@@ -439,6 +555,70 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("shard 0"), "{err}");
         assert_eq!(generated.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fallible_chunks_match_infallible_when_clean() {
+        let runner = ShardedRunner::new(config(9, 3, 2)).unwrap();
+        let mut chunks = vec![Vec::new(), Vec::new(), Vec::new()];
+        for (index, job) in jobs(12).into_iter().enumerate() {
+            chunks[index % 3].push(job);
+        }
+        let infallible = runner
+            .run_chunked(chunks.clone(), |_| Box::new(NoSpeculation))
+            .unwrap();
+        let fallible = runner
+            .run_chunked_fallible(chunks.into_iter().map(Ok::<_, SimError>), |_| {
+                Box::new(NoSpeculation)
+            })
+            .unwrap();
+        assert_eq!(infallible, fallible);
+    }
+
+    #[test]
+    fn source_error_stops_the_replay_and_takes_precedence() {
+        // Chunk 2 is a source error; with one worker the pull order is
+        // deterministic, so chunks 3.. must never be generated and the
+        // source error must surface even though chunks 0-1 simulated fine.
+        let generated = AtomicUsize::new(0);
+        let chunks = (0..100u64).map(|index| {
+            generated.fetch_add(1, Ordering::Relaxed);
+            if index == 2 {
+                Err(format!("parse failure at chunk {index}"))
+            } else {
+                Ok(vec![JobSpec::new(
+                    JobId::new(index),
+                    SimTime::ZERO,
+                    100.0,
+                    1,
+                )])
+            }
+        });
+        let runner = ShardedRunner::new(config(1, 4, 1)).unwrap();
+        let err = runner
+            .run_chunked_fallible(chunks, |_| Box::new(NoSpeculation))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ReplayError::Source("parse failure at chunk 2".to_string())
+        );
+        assert!(err.to_string().contains("chunk source error"), "{err}");
+        assert_eq!(generated.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn fallible_replay_reports_sim_errors() {
+        let mut bad = vec![JobSpec::new(JobId::new(0), SimTime::ZERO, 100.0, 1)];
+        bad[0].tasks.clear();
+        let runner = ShardedRunner::new(config(1, 4, 1)).unwrap();
+        let err = runner
+            .run_chunked_fallible([Ok::<_, String>(bad)], |_| Box::new(NoSpeculation))
+            .unwrap_err();
+        assert!(
+            matches!(err, ReplayError::Sim(SimError::InvalidConfig { .. })),
+            "{err}"
+        );
+        assert!(err.to_string().contains("shard 0"), "{err}");
     }
 
     #[test]

@@ -165,11 +165,45 @@ impl GoogleTraceConfig {
 
     /// Generates the synthetic trace.
     ///
+    /// Equivalent to draining [`GoogleTraceConfig::stream`] into one vector;
+    /// for replays large enough that materializing every spec at once
+    /// matters, feed the stream to the sharded runner directly.
+    ///
     /// # Errors
     ///
     /// Propagates validation failures and distribution-construction errors.
     pub fn generate(&self) -> Result<SyntheticTrace, ChronosError> {
+        Ok(SyntheticTrace {
+            jobs: self.stream(self.jobs.max(1))?.flatten().collect(),
+        })
+    }
+
+    /// Streams the trace as chunks of at most `chunk_size` job specs.
+    ///
+    /// The stream carries the generator RNG forward from chunk to chunk, so
+    /// the concatenation of all chunks is **exactly** the
+    /// [`GoogleTraceConfig::generate`] output for any chunk size — only peak
+    /// memory changes: the stream holds the arrival instants (8 bytes per
+    /// job) and the spot-price path, never the job specs themselves. Chunks
+    /// double as shard inputs for
+    /// `chronos_sim::shard::ShardedRunner::run_chunked`, which is how
+    /// million-job Google-style replays reach the simulator without the
+    /// trace ever existing as one giant `Vec` — the same shape the
+    /// file-backed `crate::loader::TraceStream` produces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures; additionally rejects a zero
+    /// `chunk_size`.
+    pub fn stream(&self, chunk_size: u32) -> Result<GoogleTraceStream, ChronosError> {
         self.validate()?;
+        if chunk_size == 0 {
+            return Err(ChronosError::invalid(
+                "chunk_size",
+                0.0,
+                "at least one job per chunk",
+            ));
+        }
         let horizon_secs = self.horizon_hours * 3_600.0;
         let price_path = self.price.sample_path(horizon_secs)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -191,29 +225,18 @@ impl GoogleTraceConfig {
             *first = 0.0;
         }
 
-        let mut jobs = Vec::with_capacity(self.jobs as usize);
-        for (index, arrival) in arrivals.iter().enumerate() {
-            let tasks = (task_count_dist.sample(&mut rng).round() as u64)
-                .clamp(1, u64::from(self.max_tasks_per_job)) as usize;
-            let t_min = t_min_dist.sample(&mut rng).max(1.0);
-            let profile = Pareto::new(t_min, self.beta)?;
-            let mean_task = profile
-                .mean()
-                .expect("beta > 1 guarantees a finite mean task time");
-            let deadline = self.deadline_factor * mean_task;
-            let price = price_path.price_at(*arrival);
-            jobs.push(
-                JobSpec::new(
-                    JobId::new(index as u64),
-                    SimTime::from_secs(*arrival),
-                    deadline,
-                    tasks,
-                )
-                .with_profile(profile)
-                .with_price(price),
-            );
-        }
-        Ok(SyntheticTrace { jobs })
+        Ok(GoogleTraceStream {
+            arrivals,
+            price_path,
+            rng,
+            task_count_dist,
+            t_min_dist,
+            beta: self.beta,
+            deadline_factor: self.deadline_factor,
+            max_tasks_per_job: self.max_tasks_per_job,
+            next_index: 0,
+            chunk_size,
+        })
     }
 }
 
@@ -222,6 +245,84 @@ impl Default for GoogleTraceConfig {
         GoogleTraceConfig::scaled(300, 1)
     }
 }
+
+/// Chunked iterator over a [`GoogleTraceConfig`]'s job specifications.
+///
+/// Yields `Vec<JobSpec>` chunks (each of `chunk_size` jobs, the final one
+/// possibly shorter) in submission order. Created by
+/// [`GoogleTraceConfig::stream`].
+#[derive(Debug, Clone)]
+pub struct GoogleTraceStream {
+    /// Sorted arrival instants, seconds (first pinned to zero).
+    arrivals: Vec<f64>,
+    price_path: crate::pricing::PricePath,
+    rng: StdRng,
+    task_count_dist: LogNormal,
+    t_min_dist: LogNormal,
+    beta: f64,
+    deadline_factor: f64,
+    max_tasks_per_job: u32,
+    next_index: u32,
+    chunk_size: u32,
+}
+
+impl GoogleTraceStream {
+    /// Number of jobs not yet yielded.
+    #[must_use]
+    pub fn remaining_jobs(&self) -> u32 {
+        self.arrivals.len() as u32 - self.next_index
+    }
+
+    /// Generates the next single job spec, advancing the RNG exactly as
+    /// [`GoogleTraceConfig::generate`]'s per-job loop would.
+    fn next_spec(&mut self) -> JobSpec {
+        let index = self.next_index as usize;
+        let arrival = self.arrivals[index];
+        let tasks = (self.task_count_dist.sample(&mut self.rng).round() as u64)
+            .clamp(1, u64::from(self.max_tasks_per_job)) as usize;
+        let t_min = self.t_min_dist.sample(&mut self.rng).max(1.0);
+        let profile = Pareto::new(t_min, self.beta)
+            .expect("beta was validated and the sampled t_min is >= 1");
+        let mean_task = profile
+            .mean()
+            .expect("beta > 1 guarantees a finite mean task time");
+        let deadline = self.deadline_factor * mean_task;
+        let price = self.price_path.price_at(arrival);
+        self.next_index += 1;
+        JobSpec::new(
+            JobId::new(index as u64),
+            SimTime::from_secs(arrival),
+            deadline,
+            tasks,
+        )
+        .with_profile(profile)
+        .with_price(price)
+    }
+}
+
+impl Iterator for GoogleTraceStream {
+    type Item = Vec<JobSpec>;
+
+    fn next(&mut self) -> Option<Vec<JobSpec>> {
+        let remaining = self.remaining_jobs();
+        if remaining == 0 {
+            return None;
+        }
+        let size = remaining.min(self.chunk_size) as usize;
+        let mut chunk = Vec::with_capacity(size);
+        for _ in 0..size {
+            chunk.push(self.next_spec());
+        }
+        Some(chunk)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let chunks = self.remaining_jobs().div_ceil(self.chunk_size) as usize;
+        (chunks, Some(chunks))
+    }
+}
+
+impl ExactSizeIterator for GoogleTraceStream {}
 
 /// A generated synthetic trace, plus summary statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -348,6 +449,37 @@ mod tests {
         let mut config = GoogleTraceConfig::scaled(10, 0);
         config.horizon_hours = -1.0;
         assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn stream_concatenation_equals_generate() {
+        let config = GoogleTraceConfig::scaled(60, 19);
+        let batch = config.generate().unwrap().into_jobs();
+        // Any chunk size — including ones that do not divide the job count
+        // and a single-chunk stream — reproduces the batch output exactly.
+        for chunk_size in [1u32, 7, 13, 60, 1000] {
+            let streamed: Vec<JobSpec> = config.stream(chunk_size).unwrap().flatten().collect();
+            assert_eq!(streamed, batch, "chunk_size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn stream_chunk_shapes() {
+        let config = GoogleTraceConfig::scaled(10, 19);
+        let mut stream = config.stream(4).unwrap();
+        assert_eq!(stream.len(), 3);
+        assert_eq!(stream.remaining_jobs(), 10);
+        let sizes: Vec<usize> = stream.by_ref().map(|chunk| chunk.len()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(stream.remaining_jobs(), 0);
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn stream_rejects_zero_chunk_size_and_invalid_configs() {
+        let config = GoogleTraceConfig::scaled(10, 19);
+        assert!(config.stream(0).is_err());
+        assert!(config.with_beta(0.5).stream(4).is_err());
     }
 
     #[test]

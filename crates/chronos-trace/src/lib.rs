@@ -6,6 +6,12 @@
 //!   TeraSort, WordCount) and the Figure 2 job mix,
 //! * [`google`] — a synthetic Google-cluster-trace-style generator standing
 //!   in for the 30-hour, 2 700-job trace of Figures 3–5,
+//! * [`loader`] — the `chronos-trace` v1 on-disk trace format: a streaming
+//!   [`loader::TraceLoader`] that parses trace files into validated
+//!   [`chronos_sim::prelude::JobSpec`] chunks (with typed errors naming the
+//!   offending line/column) and a [`loader::TraceWriter`] that round-trips
+//!   any workload to disk bit-exactly (see the module docs for the format
+//!   specification),
 //! * [`pricing`] — fixed and EC2-spot-like price models,
 //! * [`contention`] — the background-load model that produces the heavy
 //!   (Pareto, `β < 2`) task-time tails and persistent slow nodes.
@@ -33,12 +39,17 @@
 
 pub mod contention;
 pub mod google;
+pub mod loader;
 pub mod pricing;
 pub mod workload;
 
 pub mod prelude;
 
 pub use contention::{ContentionLevel, ContentionModel};
-pub use google::{GoogleTraceConfig, SyntheticTrace};
+pub use google::{GoogleTraceConfig, GoogleTraceStream, SyntheticTrace};
+pub use loader::{
+    write_trace, TraceHeader, TraceLoader, TraceParseError, TraceStream, TraceWriteError,
+    TraceWriter,
+};
 pub use pricing::{PriceModel, PricePath};
 pub use workload::{Benchmark, TestbedWorkload};

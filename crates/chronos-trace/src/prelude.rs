@@ -1,6 +1,10 @@
 //! Convenience re-exports for workload construction.
 
 pub use crate::contention::{ContentionLevel, ContentionModel};
-pub use crate::google::{GoogleTraceConfig, SyntheticTrace};
+pub use crate::google::{GoogleTraceConfig, GoogleTraceStream, SyntheticTrace};
+pub use crate::loader::{
+    write_trace, TraceHeader, TraceLoader, TraceParseError, TraceStream, TraceWriteError,
+    TraceWriter,
+};
 pub use crate::pricing::{PriceModel, PricePath};
 pub use crate::workload::{Benchmark, TestbedWorkload, WorkloadStream};

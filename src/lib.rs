@@ -55,16 +55,17 @@ pub mod prelude {
     pub use chronos_core::prelude::*;
     pub use chronos_sim::prelude::{
         shard_seed, ClusterSpec, EstimatorKind, JobId, JobSpec, JvmModel, LatencyHistogram,
-        ShardSpec, ShardedRunner, SimConfig, SimError, SimTime, Simulation, SimulationReport,
-        SpeculationPolicy, TaskSpec,
+        ReplayError, ShardSpec, ShardedRunner, SimConfig, SimError, SimTime, Simulation,
+        SimulationReport, SpeculationPolicy, TaskSpec,
     };
     pub use chronos_strategies::prelude::{
         ChronosPolicyConfig, ClonePolicy, HadoopNoSpec, HadoopSpeculate, MantriPolicy, PolicyKind,
         RestartPolicy, ResumePolicy, StrategyTiming, Timing,
     };
     pub use chronos_trace::prelude::{
-        Benchmark, ContentionLevel, ContentionModel, GoogleTraceConfig, PriceModel, SyntheticTrace,
-        TestbedWorkload, WorkloadStream,
+        write_trace, Benchmark, ContentionLevel, ContentionModel, GoogleTraceConfig,
+        GoogleTraceStream, PriceModel, SyntheticTrace, TestbedWorkload, TraceHeader, TraceLoader,
+        TraceParseError, TraceStream, TraceWriteError, TraceWriter, WorkloadStream,
     };
 }
 

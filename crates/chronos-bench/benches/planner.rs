@@ -1,0 +1,133 @@
+//! Criterion benches for the `chronos-plan` subsystem: what memoized,
+//! deduplicated batch planning saves over per-job `Optimizer::optimize`
+//! calls on a repeated-profile workload — the serving-path pattern where
+//! thousands of submissions share a handful of job classes.
+//!
+//! Setting `CHRONOS_BENCH_SMOKE=1` shrinks the batch and takes a single
+//! sample — the CI `bench-smoke` job uses this to catch panics and API rot
+//! without paying (or trusting) real measurement time on shared runners.
+
+use chronos_core::prelude::*;
+use chronos_plan::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn smoke() -> bool {
+    std::env::var_os("CHRONOS_BENCH_SMOKE").is_some()
+}
+
+/// A batch of `len` requests cycling over `classes` distinct job profiles
+/// (three strategies × a few job shapes), mimicking a trace whose jobs
+/// share job classes.
+fn repeated_profile_batch(len: usize, classes: usize) -> Vec<PlanRequest> {
+    let shapes: Vec<(JobProfile, StrategyParams)> = (0..classes)
+        .map(|class| {
+            let t_min = 15.0 + class as f64;
+            let job = JobProfile::builder()
+                .tasks(10 + 10 * (class as u32 % 4))
+                .t_min(t_min)
+                .beta(1.3 + 0.1 * (class % 3) as f64)
+                .deadline(5.0 * t_min)
+                .build()
+                .expect("valid job class");
+            let params = match class % 3 {
+                0 => StrategyParams::clone_strategy(2.0 * t_min),
+                1 => StrategyParams::restart(t_min, 2.0 * t_min).expect("ordered"),
+                _ => StrategyParams::resume(t_min, 2.0 * t_min, 0.3).expect("ordered"),
+            };
+            (job, params)
+        })
+        .collect();
+    (0..len)
+        .map(|i| {
+            let (job, params) = shapes[i % classes];
+            PlanRequest::new(job, params)
+        })
+        .collect()
+}
+
+fn bench_plan_batch_vs_uncached(c: &mut Criterion) {
+    let len = if smoke() { 64 } else { 4_096 };
+    let classes = 8;
+    let requests = repeated_profile_batch(len, classes);
+    let objective = UtilityModel::default();
+
+    let mut group = c.benchmark_group(format!("planner-{len}-jobs-{classes}-classes"));
+    if smoke() {
+        group.sample_size(1);
+        group.measurement_time(Duration::from_millis(1));
+    }
+
+    // The reference: one optimizer solve per job, no memoization.
+    group.bench_function("uncached-optimize", |b| {
+        let optimizer = Optimizer::new(objective);
+        b.iter(|| {
+            requests
+                .iter()
+                .map(|request| {
+                    optimizer
+                        .optimize(&request.job, &request.params)
+                        .expect("feasible")
+                        .r
+                })
+                .fold(0u64, |acc, r| acc + u64::from(r))
+        })
+    });
+
+    // Cold batch: a fresh cache per iteration — dedup does all the work.
+    for workers in [1u32, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("plan-batch-cold", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let planner = Planner::new(objective);
+                    planner.plan_batch(&requests, workers)
+                })
+            },
+        );
+    }
+
+    // Warm batch: the steady serving state — every request is a cache hit.
+    group.bench_function("plan-batch-warm", |b| {
+        let planner = Planner::new(objective);
+        let _ = planner.plan_batch(&requests, 4);
+        b.iter(|| planner.plan_batch(&requests, 4))
+    });
+
+    group.finish();
+}
+
+fn bench_single_plan_lookup(c: &mut Criterion) {
+    let requests = repeated_profile_batch(1, 1);
+    let objective = UtilityModel::default();
+    let mut group = c.benchmark_group("planner-single");
+    if smoke() {
+        group.sample_size(1);
+        group.measurement_time(Duration::from_millis(1));
+    }
+    group.bench_function("optimize", |b| {
+        let optimizer = Optimizer::new(objective);
+        b.iter(|| {
+            optimizer
+                .optimize(&requests[0].job, &requests[0].params)
+                .expect("feasible")
+        })
+    });
+    group.bench_function("plan-hit", |b| {
+        let planner = Planner::new(objective);
+        let _ = planner.plan_request(&requests[0]);
+        b.iter(|| planner.plan_request(&requests[0]).expect("feasible"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20);
+    targets = bench_plan_batch_vs_uncached, bench_single_plan_lookup
+);
+criterion_main!(benches);

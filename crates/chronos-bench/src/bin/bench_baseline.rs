@@ -30,7 +30,7 @@
 //! signals CI's `bench-smoke` step exists to catch.
 
 use chronos_bench::{
-    replay_sharded_bench_trace, sharded_bench_config, sharded_bench_stream,
+    replay_sharded_bench_trace, report_digest, sharded_bench_config, sharded_bench_stream,
     write_sharded_bench_trace, SHARDED_BENCH_SEED, SHARDED_BENCH_SHARDS,
     SHARDED_BENCH_TASKS_PER_JOB,
 };
@@ -71,14 +71,38 @@ struct BaselineEntry {
     events_per_sec: f64,
 }
 
+/// The planner-path entry: the same workload replayed through
+/// `ShardedRunner::run_chunked_planned` with a shared plan cache. Its
+/// deterministic fields are the cache counters (single-flight solving makes
+/// hit/miss counts scheduling-independent) and a digest of the merged
+/// report, which `measure` additionally asserts bit-identical to the
+/// uncached `s-resume` run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PlanCacheEntry {
+    /// Configuration label, `plan-cache/workers-4`.
+    name: String,
+    workers: u32,
+    // -- deterministic fields --
+    jobs: usize,
+    distinct_profiles: u64,
+    hits: u64,
+    misses: u64,
+    hit_rate: f64,
+    report_digest: String,
+    // -- timing fields (informational) --
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Baseline {
     schema_version: u32,
     workload: WorkloadMeta,
     entries: Vec<BaselineEntry>,
+    plan_cache: PlanCacheEntry,
 }
 
-const SCHEMA_VERSION: u32 = 1;
+const SCHEMA_VERSION: u32 = 2;
 
 fn workload_meta() -> WorkloadMeta {
     WorkloadMeta {
@@ -143,14 +167,54 @@ fn run_replay_config(workers: u32) -> (BaselineEntry, SimulationReport) {
     (entry, report)
 }
 
-/// Runs every baseline configuration, asserting the worker-count and
-/// on-disk round-trip determinism invariants along the way (a panic here is
-/// a regression the CI smoke step must catch).
+/// Times the planner-backed path: the `s-resume` workload replayed through
+/// `run_chunked_planned` with one plan cache shared by every shard. All
+/// jobs of the benchmark workload share a single analytical profile, so
+/// the cache must collapse the per-job optimizations to one solve; the
+/// merged report must be bit-identical to the uncached `reference` run.
+fn run_plan_cache_config(workers: u32, reference: &SimulationReport) -> PlanCacheEntry {
+    let cache = PlanCache::shared();
+    let runner = ShardedRunner::new(sharded_bench_config(workers)).expect("valid config");
+    let start = Instant::now();
+    let (report, stats) = runner
+        .run_chunked_planned(&cache, sharded_bench_stream(JOBS), |_, cache| {
+            Box::new(ResumePolicy::with_cache(
+                ChronosPolicyConfig::testbed(),
+                cache,
+            ))
+        })
+        .expect("simulation completes");
+    let wall = start.elapsed();
+    assert_eq!(
+        &report, reference,
+        "planner determinism violated: the planner-backed replay differs from the uncached run"
+    );
+    assert!(
+        stats.misses as usize <= report.job_count(),
+        "plan cache solved more profiles than jobs exist"
+    );
+    PlanCacheEntry {
+        name: format!("plan-cache/workers-{workers}"),
+        workers,
+        jobs: report.job_count(),
+        distinct_profiles: stats.misses,
+        hits: stats.hits,
+        misses: stats.misses,
+        hit_rate: stats.hit_rate(),
+        report_digest: report_digest(&report),
+        wall_ms: wall.as_secs_f64() * 1_000.0,
+        events_per_sec: report.events_processed as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Runs every baseline configuration, asserting the worker-count,
+/// on-disk round-trip and planner determinism invariants along the way (a
+/// panic here is a regression the CI smoke step must catch).
 fn measure() -> Baseline {
     let ns: &(dyn Fn() -> Box<dyn SpeculationPolicy> + Sync) =
         &|| Box::new(HadoopNoSpec::default());
     let resume: &(dyn Fn() -> Box<dyn SpeculationPolicy> + Sync) =
-        &|| Box::new(ResumePolicy::new(ChronosPolicyConfig::testbed()));
+        &|| Box::new(ResumePolicy::uncached(ChronosPolicyConfig::testbed()));
 
     let (ns_1, ns_1_report) = run_config("hadoop-ns", 1, ns);
     let (ns_4, ns_4_report) = run_config("hadoop-ns", 4, ns);
@@ -158,17 +222,19 @@ fn measure() -> Baseline {
         ns_1_report, ns_4_report,
         "sharding determinism violated: 1-worker and 4-worker reports differ"
     );
-    let (resume_4, _) = run_config("s-resume", 4, resume);
+    let (resume_4, resume_4_report) = run_config("s-resume", 4, resume);
     let (replay_4, replay_4_report) = run_replay_config(4);
     assert_eq!(
         ns_4_report, replay_4_report,
         "trace round-trip determinism violated: file replay differs from the in-memory run"
     );
+    let plan_cache = run_plan_cache_config(4, &resume_4_report);
 
     Baseline {
         schema_version: SCHEMA_VERSION,
         workload: workload_meta(),
         entries: vec![ns_1, ns_4, resume_4, replay_4],
+        plan_cache,
     }
 }
 
@@ -196,6 +262,16 @@ fn record(current: &Baseline) {
             entry.name, entry.wall_ms, entry.events_per_sec
         );
     }
+    let plan = &current.plan_cache;
+    println!(
+        "  {:<24} {:>10.1} ms  {:>12.0} events/s  ({} solves for {} jobs, {:.2}% hit rate)",
+        plan.name,
+        plan.wall_ms,
+        plan.events_per_sec,
+        plan.distinct_profiles,
+        plan.jobs,
+        100.0 * plan.hit_rate,
+    );
 }
 
 /// Compares `current` against the stored snapshot. Deterministic drift is
@@ -208,14 +284,24 @@ fn check(current: &Baseline) -> Result<(), String> {
             path.display()
         )
     })?;
-    let stored: Baseline =
+    // Probe the schema version before the full parse: an older snapshot
+    // (e.g. schema v1, which predates the required `plan_cache` field)
+    // must produce the "re-record" guidance, not a missing-field serde
+    // error.
+    #[derive(Deserialize)]
+    struct SchemaProbe {
+        schema_version: u32,
+    }
+    let probe: SchemaProbe =
         serde_json::from_str(&text).map_err(|err| format!("unreadable baseline: {err}"))?;
-    if stored.schema_version != SCHEMA_VERSION {
+    if probe.schema_version != SCHEMA_VERSION {
         return Err(format!(
             "baseline schema v{} does not match binary schema v{SCHEMA_VERSION}; re-record",
-            stored.schema_version
+            probe.schema_version
         ));
     }
+    let stored: Baseline =
+        serde_json::from_str(&text).map_err(|err| format!("unreadable baseline: {err}"))?;
     if stored.workload != current.workload {
         return Err(format!(
             "baseline workload {:?} does not match binary workload {:?}; re-record",
@@ -274,6 +360,49 @@ fn check(current: &Baseline) -> Result<(), String> {
             println!("    note: timing drifted by more than 2x; not a failure, but worth a look");
         }
     }
+    // The plan-cache entry follows the same policy: its deterministic
+    // fields (profile/hit/miss counts, the report digest) are compared
+    // loudly but tolerated across hosts — the *blocking* planner invariant
+    // is the in-process `measure` assertion that the planner-backed report
+    // is bit-identical to the uncached run.
+    let (stored_plan, current_plan) = (&stored.plan_cache, &current.plan_cache);
+    if stored_plan.name != current_plan.name {
+        return Err(format!(
+            "plan-cache entry changed: stored {} vs current {}; re-record",
+            stored_plan.name, current_plan.name
+        ));
+    }
+    let plan_match = stored_plan.jobs == current_plan.jobs
+        && stored_plan.distinct_profiles == current_plan.distinct_profiles
+        && stored_plan.hits == current_plan.hits
+        && stored_plan.misses == current_plan.misses
+        && stored_plan.hit_rate.to_bits() == current_plan.hit_rate.to_bits()
+        && stored_plan.report_digest == current_plan.report_digest;
+    if !plan_match {
+        drifted += 1;
+        println!(
+            "  {}: snapshot drift\n    stored:  jobs={} distinct={} hits={} misses={} hit_rate={} digest={}\n    current: jobs={} distinct={} hits={} misses={} hit_rate={} digest={}\n    same-host drift means planner behaviour changed — re-record and review.",
+            stored_plan.name,
+            stored_plan.jobs,
+            stored_plan.distinct_profiles,
+            stored_plan.hits,
+            stored_plan.misses,
+            stored_plan.hit_rate,
+            stored_plan.report_digest,
+            current_plan.jobs,
+            current_plan.distinct_profiles,
+            current_plan.hits,
+            current_plan.misses,
+            current_plan.hit_rate,
+            current_plan.report_digest,
+        );
+    }
+    let plan_ratio = current_plan.wall_ms / stored_plan.wall_ms.max(1e-9);
+    println!(
+        "  {:<24} {:>10.1} ms (baseline {:>10.1} ms, x{:.2})",
+        current_plan.name, current_plan.wall_ms, stored_plan.wall_ms, plan_ratio
+    );
+
     if drifted > 0 {
         println!(
             "baseline check OK with {drifted} drifted entr{} (see above; in-process determinism held)",
@@ -281,7 +410,7 @@ fn check(current: &Baseline) -> Result<(), String> {
         );
     } else {
         println!(
-            "baseline check OK ({} entries, deterministic fields stable)",
+            "baseline check OK ({} entries + plan-cache, deterministic fields stable)",
             current.entries.len()
         );
     }

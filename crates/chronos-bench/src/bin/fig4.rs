@@ -11,10 +11,10 @@
 //! point labelled `trace` (its `beta` is `null` in the JSON artifact).
 
 use chronos_bench::{
-    figure2_lineup, load_trace_jobs_or_exit, measure, print_table, run_policy,
+    figure2_lineup_cached, load_trace_jobs_or_exit, measure, print_table, run_policy,
     trace_path_from_args, trace_sim_config, write_json, Row, Scale, UtilitySpec,
 };
-use chronos_sim::prelude::JobSpec;
+use chronos_sim::prelude::{JobSpec, PlanCache};
 use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
 use serde::Serialize;
@@ -58,9 +58,15 @@ fn main() {
             .collect(),
     };
 
+    // One plan cache across the whole β sweep (β is part of each job's
+    // profile key, so sweep points cannot collide); repeated job profiles
+    // are optimized once per strategy instead of once per job, with
+    // bit-identical measurements.
+    let cache = PlanCache::shared();
+
     let mut cells: Vec<Fig4Cell> = Vec::new();
     for (index, (label, beta, jobs)) in sweep.iter().enumerate() {
-        for (kind, policy) in figure2_lineup(chronos_config) {
+        for (kind, policy) in figure2_lineup_cached(chronos_config, &cache) {
             let report = run_policy(&trace_sim_config(37 + index as u64), policy, jobs.clone())
                 .expect("simulation");
             let m = measure(&report, UtilitySpec::new(theta, 0.0));
@@ -110,6 +116,8 @@ fn main() {
         &policies,
         &table_for(&|c| c.utility),
     );
+
+    println!("\nplan cache: {}", cache.stats());
 
     match write_json("fig4.json", &cells) {
         Ok(path) => println!("\nwrote {}", path.display()),

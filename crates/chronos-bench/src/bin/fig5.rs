@@ -12,10 +12,12 @@ use chronos_bench::{
     load_trace_jobs_or_exit, measure, print_table, run_policy, trace_path_from_args,
     trace_sim_config, write_json, Row, Scale, UtilitySpec,
 };
+use chronos_sim::prelude::PlanCache;
 use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 #[derive(Debug, Serialize)]
 struct Fig5Series {
@@ -35,14 +37,25 @@ fn main() {
             .into_jobs(),
     };
 
+    // One plan cache across both θ values and both strategies (each is
+    // part of the key): repeated job profiles in the trace are optimized
+    // once per (strategy, θ), with bit-identical histograms.
+    let cache = PlanCache::shared();
+
     let mut series = Vec::new();
     for theta in [1e-5, 1e-4] {
         let config = ChronosPolicyConfig::with_theta(theta)
             .expect("theta is valid")
             .with_timing(StrategyTiming::trace_default());
         let policies: Vec<(&str, Box<dyn SpeculationPolicy>)> = vec![
-            ("clone", Box::new(ClonePolicy::new(config))),
-            ("s-resume", Box::new(ResumePolicy::new(config))),
+            (
+                "clone",
+                Box::new(ClonePolicy::with_cache(config, Arc::clone(&cache))),
+            ),
+            (
+                "s-resume",
+                Box::new(ResumePolicy::with_cache(config, Arc::clone(&cache))),
+            ),
         ];
         for (label, policy) in policies {
             let report =
@@ -93,6 +106,8 @@ fn main() {
             s.policy, s.theta, s.modal_r
         );
     }
+
+    println!("\nplan cache: {}", cache.stats());
 
     match write_json("fig5.json", &series) {
         Ok(path) => println!("\nwrote {}", path.display()),

@@ -1,7 +1,7 @@
 //! Command-line companion of `chronos_trace::loader`: generates
-//! `chronos-trace` v1 files from the synthetic Google-style model and
-//! replays them (or the equivalent in-memory stream) through the sharded
-//! runner, writing the merged simulation report as JSON.
+//! `chronos-trace` v1 files from the synthetic Google-style model, replays
+//! them (or the equivalent in-memory stream) through the sharded runner,
+//! and reports per-trace profile statistics.
 //!
 //! CI's `trace-replay-smoke` job is the canonical user: it generates a
 //! trace with `TraceWriter`, replays it from the file at 8 workers, replays
@@ -11,21 +11,32 @@
 //!
 //! ```text
 //! trace_tool generate --jobs N --seed S --out trace.csv [--chunk-size C]
-//! trace_tool replay --trace trace.csv   [--workers W] [--chunk-size C] [--out report.json]
-//! trace_tool replay --jobs N --seed S   [--workers W] [--chunk-size C] [--out report.json]
+//! trace_tool replay --trace trace.csv   [--policy P] [--workers W] [--chunk-size C] [--out report.json]
+//! trace_tool replay --jobs N --seed S   [--policy P] [--workers W] [--chunk-size C] [--out report.json]
+//! trace_tool stats  --trace trace.csv   [--chunk-size C]
 //! ```
 //!
 //! Both replay forms use the same fixed simulator configuration and seed,
-//! the Hadoop-NS policy and the same default chunk size, so their reports
-//! are bit-identical whenever the trace file round-trips exactly. The
-//! chunk structure is the shard structure: replays with different
-//! `--chunk-size` are different experiments (see the sharding module docs).
+//! the same policy (Hadoop-NS unless `--policy` says otherwise) and the
+//! same default chunk size, so their reports are bit-identical whenever the
+//! trace file round-trips exactly. The chunk structure is the shard
+//! structure: replays with different `--chunk-size` are different
+//! experiments (see the sharding module docs).
+//!
+//! Replays run through the planner-backed sharded path: the optimizing
+//! policies (`--policy clone|s-restart|s-resume`) share one plan cache
+//! across all shards, and the cache statistics are printed after the
+//! replay (to stdout, never into the report JSON — reports stay
+//! bit-identical to the unplanned path). `stats` prints the
+//! distinct-profile census of a trace — the ceiling on that cache's hit
+//! rate — so the planner benefit can be predicted without replaying.
 
 use chronos_sim::prelude::*;
 use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Simulation seed shared by both replay forms (per-shard seeds derive from
 /// it; it must not depend on the job source).
@@ -38,8 +49,10 @@ const DEFAULT_CHUNK_SIZE: u32 = 512;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  trace_tool generate --jobs N --seed S --out PATH [--chunk-size C]\n  \
-         trace_tool replay --trace PATH [--workers W] [--chunk-size C] [--out PATH]\n  \
-         trace_tool replay --jobs N --seed S [--workers W] [--chunk-size C] [--out PATH]"
+         trace_tool replay --trace PATH [--policy P] [--workers W] [--chunk-size C] [--out PATH]\n  \
+         trace_tool replay --jobs N --seed S [--policy P] [--workers W] [--chunk-size C] [--out PATH]\n  \
+         trace_tool stats --trace PATH [--chunk-size C]\n\n  \
+         policies: hadoop-ns (default), hadoop-s, mantri, clone, s-restart, s-resume"
     );
     ExitCode::from(2)
 }
@@ -119,17 +132,28 @@ fn replay(args: &[String]) -> Result<(), String> {
     let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
     let out: Option<PathBuf> = flag_value(args, "--out")?;
     let trace: Option<PathBuf> = flag_value(args, "--trace")?;
+    let policy_label: String =
+        flag_value(args, "--policy")?.unwrap_or_else(|| "hadoop-ns".to_string());
+    let kind = PolicyKind::from_label(&policy_label)
+        .ok_or_else(|| format!("--policy: unknown policy `{policy_label}`"))?;
+    let chronos_config =
+        ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default());
 
     let runner =
         ShardedRunner::new(replay_config(workers)).map_err(|err| format!("config: {err}"))?;
-    let report = match trace {
+    // Every shard's policy shares this cache: a job profile optimized by
+    // any shard is a lookup in every other (the baselines just leave the
+    // counters at zero).
+    let cache = PlanCache::shared();
+    let build = |_shard: u64, cache: Arc<PlanCache>| kind.build_with_cache(chronos_config, &cache);
+    let (report, stats) = match trace {
         Some(path) => {
             let stream = TraceLoader::open(&path)
                 .map_err(|err| format!("opening {}: {err}", path.display()))?
                 .stream(chunk_size)
                 .map_err(|err| err.to_string())?;
             runner
-                .run_chunked_fallible(stream, |_| Box::new(HadoopNoSpec::default()))
+                .run_chunked_fallible_planned(&cache, stream, build)
                 .map_err(|err| format!("replaying {}: {err}", path.display()))?
         }
         None => {
@@ -139,11 +163,54 @@ fn replay(args: &[String]) -> Result<(), String> {
                 .stream(chunk_size)
                 .map_err(|err| format!("trace generation: {err}"))?;
             runner
-                .run_chunked(stream, |_| Box::new(HadoopNoSpec::default()))
+                .run_chunked_planned(&cache, stream, build)
                 .map_err(|err| format!("replaying in-memory trace: {err}"))?
         }
     };
-    write_report(&report, out.as_deref())
+    write_report(&report, out.as_deref())?;
+    if stats.lookups() == 0 {
+        println!(
+            "plan cache [{}]: policy does not optimize; cache untouched",
+            kind.label()
+        );
+    } else {
+        // `misses` is the number of optimizer solves actually paid (one per
+        // distinct profile); every other job reused a plan.
+        let jobs = report.job_count() as u64;
+        let saved = jobs.saturating_sub(stats.misses);
+        println!(
+            "plan cache [{}]: {} optimizer solves for {jobs} jobs ({:.2}% saved); {stats}",
+            kind.label(),
+            stats.misses,
+            100.0 * saved as f64 / jobs.max(1) as f64,
+        );
+    }
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let trace: PathBuf = flag_value(args, "--trace")?.ok_or("stats needs --trace")?;
+    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
+    let stream = TraceLoader::open(&trace)
+        .map_err(|err| format!("opening {}: {err}", trace.display()))?
+        .stream(chunk_size)
+        .map_err(|err| err.to_string())?;
+    let mut census = ProfileCensus::new();
+    for chunk in stream {
+        let chunk = chunk.map_err(|err| format!("parsing {}: {err}", trace.display()))?;
+        census.observe_all(&chunk);
+    }
+    let summary = census.summary();
+    println!("trace:             {}", trace.display());
+    println!("jobs:              {}", summary.jobs);
+    println!("distinct profiles: {}", summary.distinct_profiles);
+    println!("unplannable jobs:  {}", summary.unplannable_jobs);
+    println!("largest class:     {} jobs", summary.largest_class);
+    println!(
+        "max cache hit rate: {:.2}% (a planner-backed replay can skip at most this fraction of optimizer solves)",
+        100.0 * summary.max_hit_rate
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -151,6 +218,7 @@ fn main() -> ExitCode {
     let outcome = match args.get(1).map(String::as_str) {
         Some("generate") => generate(&args[2..]),
         Some("replay") => replay(&args[2..]),
+        Some("stats") => stats(&args[2..]),
         _ => return usage(),
     };
     match outcome {

@@ -462,6 +462,61 @@ pub fn figure3_lineup(
     .collect()
 }
 
+/// [`figure2_lineup`] over a shared plan cache: the Chronos strategies in
+/// the line-up memoize their optimizations into `cache`, so repeated job
+/// profiles — within one run and across sweep points reusing the cache —
+/// are solved once. Measurements are bit-identical to the uncached
+/// line-up.
+#[must_use]
+pub fn figure2_lineup_cached(
+    config: ChronosPolicyConfig,
+    cache: &std::sync::Arc<PlanCache>,
+) -> Vec<(PolicyKind, Box<dyn SpeculationPolicy>)> {
+    [
+        PolicyKind::HadoopNoSpec,
+        PolicyKind::HadoopSpeculate,
+        PolicyKind::Clone,
+        PolicyKind::SpeculativeRestart,
+        PolicyKind::SpeculativeResume,
+    ]
+    .into_iter()
+    .map(|kind| (kind, kind.build_with_cache(config, cache)))
+    .collect()
+}
+
+/// [`figure3_lineup`] over a shared plan cache (see
+/// [`figure2_lineup_cached`]).
+#[must_use]
+pub fn figure3_lineup_cached(
+    config: ChronosPolicyConfig,
+    cache: &std::sync::Arc<PlanCache>,
+) -> Vec<(PolicyKind, Box<dyn SpeculationPolicy>)> {
+    [
+        PolicyKind::Mantri,
+        PolicyKind::Clone,
+        PolicyKind::SpeculativeRestart,
+        PolicyKind::SpeculativeResume,
+    ]
+    .into_iter()
+    .map(|kind| (kind, kind.build_with_cache(config, cache)))
+    .collect()
+}
+
+/// FNV-1a 64 digest of a report's canonical JSON, as a hex string. The
+/// `plan-cache` baseline entry records this instead of the whole report: a
+/// drifted digest means the planner-backed replay no longer reproduces the
+/// reference simulation byte for byte.
+#[must_use]
+pub fn report_digest(report: &SimulationReport) -> String {
+    let json = serde_json::to_string(report).expect("reports serialize");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in json.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("{hash:016x}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +631,45 @@ mod tests {
             .unwrap();
         assert_eq!(replayed, direct);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn cached_lineups_measure_identically_to_uncached_ones() {
+        let jobs = TestbedWorkload::paper_setup(Benchmark::Sort, 17)
+            .with_jobs(10)
+            .generate()
+            .unwrap();
+        let config = testbed_sim_config(9);
+        let chronos = ChronosPolicyConfig::testbed();
+        let cache = PlanCache::shared();
+        let cached = figure3_lineup_cached(chronos, &cache);
+        let uncached = figure3_lineup(chronos);
+        for ((kind_a, cached_policy), (kind_b, uncached_policy)) in cached.into_iter().zip(uncached)
+        {
+            assert_eq!(kind_a, kind_b);
+            let a = run_policy(&config, cached_policy, jobs.clone()).unwrap();
+            let b = run_policy(&config, uncached_policy, jobs.clone()).unwrap();
+            assert_eq!(a, b, "{kind_a:?}");
+            assert_eq!(report_digest(&a), report_digest(&b));
+        }
+        // The three Chronos strategies shared the cache: one profile each.
+        assert_eq!(cache.stats().misses, 3);
+        assert_eq!(figure2_lineup_cached(chronos, &cache).len(), 5);
+    }
+
+    #[test]
+    fn report_digest_separates_different_reports() {
+        let jobs = |seed| {
+            TestbedWorkload::paper_setup(Benchmark::Sort, seed)
+                .with_jobs(5)
+                .generate()
+                .unwrap()
+        };
+        let config = testbed_sim_config(1);
+        let a = run_policy(&config, Box::new(HadoopNoSpec::default()), jobs(3)).unwrap();
+        let b = run_policy(&config, Box::new(HadoopNoSpec::default()), jobs(4)).unwrap();
+        assert_eq!(report_digest(&a), report_digest(&a));
+        assert_ne!(report_digest(&a), report_digest(&b));
     }
 
     #[test]

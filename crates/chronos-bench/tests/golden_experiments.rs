@@ -1,8 +1,9 @@
 //! Golden-output tests for the experiment binaries.
 //!
-//! `fig2`, `table1`, `fig3` and `table2` embed fixed seeds, so their
-//! `--quick` JSON artifacts are fully deterministic (verified identical
-//! across debug and release builds). Each test runs the real binary into a
+//! `fig2`, `table1`, `fig3`, `table2`, `fig4` and `fig5` embed fixed
+//! seeds, so their `--quick` JSON artifacts are fully deterministic
+//! (verified identical across debug and release builds). Each test runs
+//! the real binary into a
 //! scratch results directory and compares the artifact against a
 //! checked-in golden copy, turning "the experiment harness silently
 //! drifted" into a `cargo test` failure instead of a manual-inspection
@@ -137,5 +138,25 @@ fn table2_quick_matches_golden() {
         "table2",
         "table2.json",
         "table2_quick.json",
+    );
+}
+
+#[test]
+fn fig4_quick_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig4"),
+        "fig4",
+        "fig4.json",
+        "fig4_quick.json",
+    );
+}
+
+#[test]
+fn fig5_quick_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig5"),
+        "fig5",
+        "fig5.json",
+        "fig5_quick.json",
     );
 }

@@ -1,0 +1,422 @@
+//! The concurrent plan cache: lock-striped, memoizing, counter-instrumented.
+//!
+//! A [`PlanCache`] maps [`ProfileKey`]s to solved plans. It is designed for
+//! the sharded replay path, where many worker threads look up mostly-equal
+//! keys concurrently:
+//!
+//! * **Lock striping.** Keys are distributed over independently locked
+//!   stripes (by a deterministic hash), so lookups of different profiles
+//!   rarely contend. Each stripe's lock is held only for the map operation,
+//!   never while a plan is being solved.
+//! * **Single-flight solves.** Each entry is a [`OnceLock`] slot: the first
+//!   thread to request a key inserts the slot and solves into it; any other
+//!   thread requesting the same key — even while the solve is still running
+//!   — receives the same slot and blocks only on that one entry. A distinct
+//!   profile is therefore solved **exactly once** per cache lifetime, which
+//!   also makes the hit/miss counters deterministic: misses equal the
+//!   number of distinct keys requested, independent of thread scheduling.
+//! * **Counters.** Hits, misses and evictions accumulate in relaxed atomics
+//!   and are exposed as a [`CacheStats`] snapshot; `CacheStats::since`
+//!   computes the delta over a measured region (one replay, one batch).
+//!
+//! The cache stores failed solves too: an infeasible profile is negative —
+//! cached, so a trace full of hopeless jobs pays the infeasibility proof
+//! once per class instead of once per job.
+
+use crate::key::ProfileKey;
+use crate::planner::PlanResult;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A single-flight entry: solved at most once, shared by all requesters.
+type Slot = Arc<OnceLock<PlanResult>>;
+
+/// Snapshot of a [`PlanCache`]'s counters.
+///
+/// Obtained from [`PlanCache::stats`]; two snapshots around a measured
+/// region subtract via [`CacheStats::since`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found an existing entry (including entries whose solve
+    /// was still in flight on another thread).
+    pub hits: u64,
+    /// Lookups that inserted a new entry. With an unbounded cache this
+    /// equals the number of distinct profiles requested.
+    pub misses: u64,
+    /// Entries removed to respect a configured capacity.
+    pub evictions: u64,
+    /// Entries resident at snapshot time.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (`0.0` when there were no
+    /// lookups).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// The counter deltas accumulated since `earlier` was snapshotted.
+    /// `entries` is not a counter and keeps this snapshot's value.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            entries: self.entries,
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.2}% hit rate), {} entries, {} evictions",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate(),
+            self.entries,
+            self.evictions
+        )
+    }
+}
+
+/// The sharded, lock-striped concurrent plan cache. See the [module
+/// docs](self) for the concurrency and determinism contract.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_plan::prelude::*;
+///
+/// let cache = PlanCache::new();
+/// assert!(cache.is_empty());
+/// assert_eq!(cache.stats().lookups(), 0);
+/// ```
+#[derive(Debug)]
+pub struct PlanCache {
+    stripes: Vec<Mutex<HashMap<ProfileKey, Slot>>>,
+    /// Maximum entries per stripe (`None` = unbounded, the default).
+    stripe_capacity: Option<usize>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PlanCache {
+    /// Stripe count of [`PlanCache::new`]: enough that a worker pool of
+    /// typical width rarely contends on one stripe lock.
+    pub const DEFAULT_STRIPES: usize = 16;
+
+    /// An unbounded cache with [`PlanCache::DEFAULT_STRIPES`] stripes.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanCache::with_stripes(Self::DEFAULT_STRIPES)
+    }
+
+    /// An unbounded cache with an explicit stripe count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_stripes(stripes: usize) -> Self {
+        let stripes = stripes.max(1);
+        PlanCache {
+            stripes: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
+            stripe_capacity: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Bounds the cache to roughly `capacity` entries (split evenly across
+    /// stripes, at least one per stripe). When a stripe is full, the
+    /// resident entry with the smallest key is evicted to make room (a
+    /// deterministic choice, so single-threaded workloads replay their
+    /// eviction sequence exactly); the `evictions` counter records each
+    /// removal. Note that under eviction the hit/miss counts of a
+    /// *concurrent* workload are no longer scheduling-independent —
+    /// production replays should size the capacity above the distinct
+    /// profile count (or leave it unbounded, the default).
+    #[must_use]
+    pub fn with_capacity_limit(mut self, capacity: usize) -> Self {
+        let per_stripe = capacity.div_ceil(self.stripes.len()).max(1);
+        self.stripe_capacity = Some(per_stripe);
+        self
+    }
+
+    /// Wraps the cache for sharing across planners and worker threads.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(PlanCache::new())
+    }
+
+    fn stripe_of(&self, key: &ProfileKey) -> &Mutex<HashMap<ProfileKey, Slot>> {
+        // DefaultHasher with default keys is deterministic, so the stripe
+        // layout does not change from run to run. (The stripe *maps* still
+        // use HashMap's per-process random state, which is why eviction
+        // picks its victim by key order below, not iteration order.)
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let index = (hasher.finish() % self.stripes.len() as u64) as usize;
+        &self.stripes[index]
+    }
+
+    /// Records `count` requests that were served by a batch's in-flight
+    /// deduplication without reaching the map: from the caller's point of
+    /// view those are cache hits (no solve was paid), and counting them
+    /// keeps `stats().lookups()` equal to the number of requests planned.
+    pub(crate) fn note_deduplicated_hits(&self, count: u64) {
+        self.hits.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Returns the memoized result for `key`, solving it with `compute` on
+    /// the first request. Concurrent requests for the same key block on the
+    /// in-flight solve instead of re-solving (see the module docs).
+    pub fn get_or_compute<F>(&self, key: ProfileKey, compute: F) -> PlanResult
+    where
+        F: FnOnce() -> PlanResult,
+    {
+        let slot = {
+            let mut map = self
+                .stripe_of(&key)
+                .lock()
+                .expect("plan cache stripe poisoned");
+            if let Some(slot) = map.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(slot)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if let Some(capacity) = self.stripe_capacity {
+                    while map.len() >= capacity {
+                        // Smallest key, not HashMap iteration order: the
+                        // victim choice must not depend on the map's
+                        // per-process hash seed, or identical runs would
+                        // diverge in their post-eviction counters.
+                        let victim = *map.keys().min().expect("stripe at capacity is non-empty");
+                        map.remove(&victim);
+                        self.evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                let slot: Slot = Arc::new(OnceLock::new());
+                map.insert(key, Arc::clone(&slot));
+                slot
+            }
+        };
+        slot.get_or_init(compute).clone()
+    }
+
+    /// The already-memoized result for `key`, if any (never solves; an
+    /// in-flight entry reads as absent). Does not touch the hit/miss
+    /// counters — this is an inspection API, not a lookup.
+    #[must_use]
+    pub fn peek(&self, key: &ProfileKey) -> Option<PlanResult> {
+        let map = self
+            .stripe_of(key)
+            .lock()
+            .expect("plan cache stripe poisoned");
+        map.get(key).and_then(|slot| slot.get().cloned())
+    }
+
+    /// Number of resident entries (including in-flight ones).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|stripe| stripe.lock().expect("plan cache stripe poisoned").len())
+            .sum()
+    }
+
+    /// True when no entry is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry. Counters are preserved (they are lifetime totals;
+    /// use [`CacheStats::since`] for per-region deltas).
+    pub fn clear(&self) {
+        for stripe in &self.stripes {
+            stripe.lock().expect("plan cache stripe poisoned").clear();
+        }
+    }
+
+    /// Snapshot of the counters and the resident entry count.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::Plan;
+    use chronos_core::{JobProfile, OptimizerConfig, StrategyParams, UtilityModel};
+    use chronos_core::{OptimizationOutcome, StrategyKind};
+
+    fn key(deadline: f64) -> ProfileKey {
+        let job = JobProfile::builder().deadline(deadline).build().unwrap();
+        ProfileKey::new(
+            &job,
+            &StrategyParams::clone_strategy(40.0),
+            &UtilityModel::default(),
+            &OptimizerConfig::default(),
+        )
+    }
+
+    fn plan(r: u32) -> PlanResult {
+        Ok(Plan {
+            outcome: OptimizationOutcome {
+                strategy: StrategyKind::Clone,
+                r,
+                utility: -0.1,
+                pocd: 0.9,
+                machine_time: 100.0,
+                dollar_cost: 100.0,
+            },
+            baseline_pocd: 0.5,
+            baseline_machine_time: 80.0,
+            baseline_dollar_cost: 80.0,
+        })
+    }
+
+    #[test]
+    fn memoizes_and_counts() {
+        let cache = PlanCache::new();
+        let mut solves = 0;
+        for _ in 0..3 {
+            let result = cache.get_or_compute(key(100.0), || {
+                solves += 1;
+                plan(2)
+            });
+            assert_eq!(result.unwrap().outcome.r, 2);
+        }
+        assert_eq!(solves, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 1));
+        assert_eq!(stats.lookups(), 3);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share_entries() {
+        let cache = PlanCache::new();
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        cache.get_or_compute(key(120.0), || plan(7)).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.peek(&key(120.0)).unwrap().unwrap().outcome.r, 7);
+        assert_eq!(cache.peek(&key(100.0)).unwrap().unwrap().outcome.r, 1);
+        assert!(cache.peek(&key(140.0)).is_none());
+    }
+
+    #[test]
+    fn errors_are_negative_cached() {
+        let cache = PlanCache::new();
+        let mut solves = 0;
+        for _ in 0..2 {
+            let result = cache.get_or_compute(key(100.0), || {
+                solves += 1;
+                Err(chronos_core::ChronosError::infeasible("hopeless"))
+            });
+            assert!(result.is_err());
+        }
+        assert_eq!(solves, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_limit_evicts_smallest_key_deterministically() {
+        // One stripe so the capacity applies to a single map.
+        let cache = PlanCache::with_stripes(1).with_capacity_limit(2);
+        for (index, deadline) in [100.0, 110.0, 120.0, 130.0].iter().enumerate() {
+            cache
+                .get_or_compute(key(*deadline), || plan(index as u32))
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.entries, 2);
+        // The victim is always the smallest resident key (these keys order
+        // by deadline, all other fields being equal), never an artifact of
+        // the map's per-process iteration order: the two largest survive.
+        assert!(cache.peek(&key(100.0)).is_none());
+        assert!(cache.peek(&key(110.0)).is_none());
+        assert!(cache.peek(&key(120.0)).is_some());
+        assert!(cache.peek(&key(130.0)).is_some());
+    }
+
+    #[test]
+    fn clear_keeps_lifetime_counters() {
+        let cache = PlanCache::new();
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 1);
+        // A re-request is a fresh miss.
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn stats_delta_and_display() {
+        let cache = PlanCache::new();
+        let before = cache.stats();
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        let delta = cache.stats().since(&before);
+        assert_eq!((delta.hits, delta.misses, delta.entries), (1, 1, 1));
+        let text = delta.to_string();
+        assert!(text.contains("1 hits"), "{text}");
+        assert!(text.contains("50.00% hit rate"), "{text}");
+    }
+
+    #[test]
+    fn concurrent_same_key_solves_once() {
+        let cache = Arc::new(PlanCache::new());
+        let solves = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let result = cache.get_or_compute(key(100.0), || {
+                        solves.fetch_add(1, Ordering::Relaxed);
+                        plan(3)
+                    });
+                    assert_eq!(result.unwrap().outcome.r, 3);
+                });
+            }
+        });
+        assert_eq!(solves.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+}

@@ -119,23 +119,45 @@ impl Simulation {
         Ok(())
     }
 
-    /// Queues a batch of jobs.
+    /// Queues a batch of jobs, then hands the whole batch to the policy's
+    /// [`SpeculationPolicy::on_job_batch`] hook so optimizing policies can
+    /// plan it in one deduplicated pass (see the hook's docs) before any
+    /// arrival event fires.
     ///
     /// # Errors
     ///
     /// Fails on the first invalid or duplicate spec, identifying the
     /// offending spec by its position in the batch and its job id; earlier
-    /// jobs in the batch remain queued.
+    /// jobs in the batch remain queued. Policy batch-planning failures are
+    /// propagated with batch context added (the policy names the offending
+    /// job id itself, per the hook's contract).
     pub fn submit_all<I>(&mut self, specs: I) -> Result<(), SimError>
     where
         I: IntoIterator<Item = JobSpec>,
     {
+        let mut views = Vec::new();
         for (index, spec) in specs.into_iter().enumerate() {
             let id = spec.id;
+            let view = Self::submit_view_of(&spec);
             self.submit(spec)
                 .map_err(|err| err.with_context(format_args!("batch spec #{index} ({id})")))?;
+            views.push(view);
         }
-        Ok(())
+        self.policy
+            .on_job_batch(&views)
+            .map_err(|err| err.with_context(format_args!("planning a {}-job batch", views.len())))
+    }
+
+    /// The submit-time snapshot of a spec, as the policy sees it both in
+    /// [`SpeculationPolicy::on_job_batch`] and at the arrival event.
+    fn submit_view_of(spec: &JobSpec) -> JobSubmitView {
+        JobSubmitView {
+            job: spec.id,
+            task_count: spec.task_count() as u32,
+            deadline_secs: spec.deadline_secs,
+            price: spec.price,
+            profile: spec.profile,
+        }
     }
 
     /// Runs the simulation to completion and returns the aggregated report.
@@ -175,13 +197,7 @@ impl Simulation {
                 .get(&job_id)
                 .ok_or_else(|| SimError::unknown(format!("{job_id}")))?;
             (
-                JobSubmitView {
-                    job: job_id,
-                    task_count: job.spec.task_count() as u32,
-                    deadline_secs: job.spec.deadline_secs,
-                    price: job.spec.price,
-                    profile: job.spec.profile,
-                },
+                Self::submit_view_of(&job.spec),
                 job.spec.tasks.clone(),
                 job.spec.submit_time,
             )
@@ -679,6 +695,79 @@ mod tests {
         // Earlier jobs in the batch remain queued, the failing one does not.
         let report = sim.run().unwrap();
         assert_eq!(report.job_count(), 2);
+    }
+
+    /// Records what the batch hook saw; optionally fails on a chosen job,
+    /// naming it via `with_context` as the hook contract requires.
+    #[derive(Debug, Default)]
+    struct BatchProbe {
+        batches: std::sync::Arc<std::sync::Mutex<Vec<Vec<JobId>>>>,
+        fail_on: Option<JobId>,
+    }
+
+    impl SpeculationPolicy for BatchProbe {
+        fn name(&self) -> String {
+            "batch-probe".to_string()
+        }
+
+        fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+            if let Some(bad) = self.fail_on {
+                if jobs.iter().any(|view| view.job == bad) {
+                    return Err(SimError::invalid_config("no plan solves this profile")
+                        .with_context(format_args!("planning {bad}")));
+                }
+            }
+            self.batches
+                .lock()
+                .unwrap()
+                .push(jobs.iter().map(|view| view.job).collect());
+            Ok(())
+        }
+
+        fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
+            SubmitDecision::default()
+        }
+
+        fn check_schedule(&self, _job: &JobSubmitView) -> CheckSchedule {
+            CheckSchedule::Never
+        }
+
+        fn on_check(&mut self, _view: &JobView) -> Vec<PolicyAction> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn submit_all_hands_the_whole_batch_to_the_policy() {
+        let probe = BatchProbe::default();
+        let batches = std::sync::Arc::clone(&probe.batches);
+        let mut sim = Simulation::new(small_config(3), Box::new(probe)).unwrap();
+        sim.submit_all(vec![job(0, 0.0, 400.0, 1), job(1, 1.0, 400.0, 1)])
+            .unwrap();
+        sim.submit_all(vec![job(2, 2.0, 400.0, 1)]).unwrap();
+        assert_eq!(
+            *batches.lock().unwrap(),
+            vec![vec![JobId::new(0), JobId::new(1)], vec![JobId::new(2)]]
+        );
+        // The simulation still runs normally after batch planning.
+        let report = sim.run().unwrap();
+        assert_eq!(report.job_count(), 3);
+    }
+
+    #[test]
+    fn batch_planning_errors_name_the_job_and_the_batch() {
+        let probe = BatchProbe {
+            fail_on: Some(JobId::new(1)),
+            ..BatchProbe::default()
+        };
+        let mut sim = Simulation::new(small_config(3), Box::new(probe)).unwrap();
+        let err = sim
+            .submit_all(vec![job(0, 0.0, 400.0, 1), job(1, 1.0, 400.0, 1)])
+            .unwrap_err();
+        let message = err.to_string();
+        // The policy named the job, the engine named the batch.
+        assert!(message.contains("planning job-1"), "{message}");
+        assert!(message.contains("2-job batch"), "{message}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! actions keeps baselines and Chronos strategies interchangeable and makes
 //! every policy unit-testable without an engine.
 
+use crate::error::SimError;
 use crate::ids::{AttemptId, JobId, TaskId};
 use crate::time::SimTime;
 use chronos_core::Pareto;
@@ -209,6 +210,27 @@ pub enum PolicyAction {
 pub trait SpeculationPolicy: fmt::Debug + Send {
     /// Human-readable policy name, used in reports and experiment output.
     fn name(&self) -> String;
+
+    /// Called once per submitted batch (`Simulation::submit_all`), before
+    /// any job of the batch arrives, with the submit-time views of every
+    /// job in the batch. Optimizing policies use this to *batch* their
+    /// planning: deduplicate the batch by job profile and solve each
+    /// distinct profile once (through a `chronos-plan` planner), so the
+    /// per-job [`SpeculationPolicy::on_job_submit`] calls become cache
+    /// lookups instead of closed-form solves. The default does nothing.
+    ///
+    /// # Errors
+    ///
+    /// Implementations that fail must identify the offending job by naming
+    /// its id in the error via [`SimError::with_context`]; the engine adds
+    /// only batch-level context. Note the Chronos policies deliberately
+    /// never fail here — per-job planning errors are memoized and resolved
+    /// to the configured fallback `r` at submission, exactly as on the
+    /// unbatched path.
+    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+        let _ = jobs;
+        Ok(())
+    }
 
     /// Called once when a job is submitted. The policy typically runs the
     /// Chronos optimizer here and remembers the resulting `r` for the job.

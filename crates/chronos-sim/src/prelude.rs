@@ -19,3 +19,7 @@ pub use crate::progress::{
 };
 pub use crate::shard::{shard_seed, splitmix64, PolicyFactory, ReplayError, ShardedRunner};
 pub use crate::time::{SimDuration, SimTime};
+// The planner types the sharded runner's planner-backed path exchanges with
+// policies; re-exported so policy implementors need no direct
+// `chronos-plan` dependency.
+pub use chronos_plan::{CacheStats, PlanCache, PlanRequest, Planner};

@@ -52,8 +52,9 @@ use crate::error::SimError;
 use crate::job::JobSpec;
 use crate::metrics::SimulationReport;
 use crate::policy::SpeculationPolicy;
+use chronos_plan::{CacheStats, PlanCache};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// The splitmix64 output mix (Steele, Lea & Flood; the same finalizer the
 /// reference `SplitMix64` generator applies to its counter). A bijection on
@@ -210,6 +211,62 @@ impl ShardedRunner {
     {
         let workers = self.config.sharding.requested_workers() as usize;
         self.run_chunks_with(workers, chunks, &build_policy)
+    }
+
+    /// The planner-backed variant of [`ShardedRunner::run_chunked`]: every
+    /// shard's policy is built around one shared `chronos-plan`
+    /// [`PlanCache`], so a job profile solved by any shard is a cache hit
+    /// in every other shard — across the whole replay, each distinct
+    /// profile pays the closed-form optimization exactly once.
+    ///
+    /// The factory receives the shard index and a handle to the shared
+    /// cache (clone it into the policy). Returns the merged report together
+    /// with the [`CacheStats`] delta accumulated by this run; the report
+    /// itself is **bit-identical** to the unplanned path — memoization only
+    /// changes where the time goes, never a decision.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedRunner::run_chunked`].
+    pub fn run_chunked_planned<I, F>(
+        &self,
+        cache: &Arc<PlanCache>,
+        chunks: I,
+        build_policy: F,
+    ) -> Result<(SimulationReport, CacheStats), SimError>
+    where
+        I: IntoIterator<Item = Vec<JobSpec>>,
+        I::IntoIter: Send,
+        F: Fn(u64, Arc<PlanCache>) -> Box<dyn SpeculationPolicy> + Sync,
+    {
+        let before = cache.stats();
+        let report = self.run_chunked(chunks, |shard| build_policy(shard, Arc::clone(cache)))?;
+        Ok((report, cache.stats().since(&before)))
+    }
+
+    /// The planner-backed variant of
+    /// [`ShardedRunner::run_chunked_fallible`]; see
+    /// [`ShardedRunner::run_chunked_planned`] for the cache contract.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedRunner::run_chunked_fallible`].
+    pub fn run_chunked_fallible_planned<I, E, F>(
+        &self,
+        cache: &Arc<PlanCache>,
+        chunks: I,
+        build_policy: F,
+    ) -> Result<(SimulationReport, CacheStats), ReplayError<E>>
+    where
+        I: IntoIterator<Item = Result<Vec<JobSpec>, E>>,
+        I::IntoIter: Send,
+        E: Send,
+        F: Fn(u64, Arc<PlanCache>) -> Box<dyn SpeculationPolicy> + Sync,
+    {
+        let before = cache.stats();
+        let report =
+            self.run_chunked_fallible(chunks, |shard| build_policy(shard, Arc::clone(cache)))?;
+        Ok((report, cache.stats().since(&before)))
     }
 
     /// Runs a workload delivered as *fallible* chunks — the trace-replay
@@ -619,6 +676,152 @@ mod tests {
             "{err}"
         );
         assert!(err.to_string().contains("shard 0"), "{err}");
+    }
+
+    /// A minimal optimizing policy for the planned-path tests: batches its
+    /// planning through a `chronos-plan` planner and clones `r` extra
+    /// attempts per task from the memoized plan.
+    #[derive(Debug)]
+    struct PlanningProbe {
+        planner: chronos_plan::Planner,
+    }
+
+    impl PlanningProbe {
+        fn new(cache: std::sync::Arc<chronos_plan::PlanCache>) -> Self {
+            PlanningProbe {
+                planner: chronos_plan::Planner::with_cache(
+                    chronos_core::Optimizer::new(chronos_core::UtilityModel::default()),
+                    cache,
+                ),
+            }
+        }
+
+        fn request_of(view: &crate::policy::JobSubmitView) -> Option<chronos_plan::PlanRequest> {
+            let job = chronos_core::JobProfile::builder()
+                .tasks(view.task_count.max(1))
+                .t_min(view.profile.t_min())
+                .beta(view.profile.beta())
+                .deadline(view.deadline_secs)
+                .price(view.price)
+                .build()
+                .ok()?;
+            Some(chronos_plan::PlanRequest::new(
+                job,
+                chronos_core::StrategyParams::clone_strategy(0.5 * view.profile.t_min()),
+            ))
+        }
+    }
+
+    impl SpeculationPolicy for PlanningProbe {
+        fn name(&self) -> String {
+            "planning-probe".to_string()
+        }
+
+        fn on_job_batch(&mut self, jobs: &[crate::policy::JobSubmitView]) -> Result<(), SimError> {
+            let requests: Vec<chronos_plan::PlanRequest> =
+                jobs.iter().filter_map(Self::request_of).collect();
+            let _ = self.planner.plan_batch(&requests, 1);
+            Ok(())
+        }
+
+        fn on_job_submit(
+            &mut self,
+            job: &crate::policy::JobSubmitView,
+        ) -> crate::policy::SubmitDecision {
+            let r = Self::request_of(job)
+                .and_then(|request| self.planner.plan_request(&request).ok())
+                .map_or(0, |plan| plan.outcome.r);
+            crate::policy::SubmitDecision {
+                extra_clones_per_task: r,
+                reported_r: Some(r),
+            }
+        }
+
+        fn check_schedule(
+            &self,
+            _job: &crate::policy::JobSubmitView,
+        ) -> crate::policy::CheckSchedule {
+            crate::policy::CheckSchedule::Never
+        }
+
+        fn on_check(&mut self, _view: &crate::policy::JobView) -> Vec<crate::policy::PolicyAction> {
+            Vec::new()
+        }
+    }
+
+    fn chunks_of(jobs: Vec<JobSpec>, shards: usize) -> Vec<Vec<JobSpec>> {
+        let mut chunks = vec![Vec::new(); shards];
+        for (index, job) in jobs.into_iter().enumerate() {
+            chunks[index % shards].push(job);
+        }
+        chunks
+    }
+
+    #[test]
+    fn planned_replay_is_bit_identical_and_shares_plans_across_shards() {
+        let runner = ShardedRunner::new(config(13, 3, 2)).unwrap();
+        // Unplanned reference: each shard plans into its own private cache.
+        let reference = runner
+            .run_chunked(chunks_of(jobs(30), 3), |_| {
+                Box::new(PlanningProbe::new(chronos_plan::PlanCache::shared()))
+            })
+            .unwrap();
+
+        for workers in [1u32, 8] {
+            let runner = ShardedRunner::new(config(13, 3, workers)).unwrap();
+            let cache = chronos_plan::PlanCache::shared();
+            let (report, stats) = runner
+                .run_chunked_planned(&cache, chunks_of(jobs(30), 3), |_, cache| {
+                    Box::new(PlanningProbe::new(cache))
+                })
+                .unwrap();
+            assert_eq!(report, reference, "workers = {workers}");
+            // All 30 jobs share one profile: one solve for the whole
+            // replay, and the counters are worker-count invariant (batch
+            // hook + per-submit lookup = 2 lookups per job).
+            assert_eq!(stats.misses, 1, "workers = {workers}");
+            assert_eq!(stats.lookups(), 60, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn planned_fallible_replay_matches_and_reuses_a_warm_cache() {
+        let runner = ShardedRunner::new(config(13, 3, 2)).unwrap();
+        let cache = chronos_plan::PlanCache::shared();
+        let build = |_shard: u64, cache: std::sync::Arc<chronos_plan::PlanCache>| {
+            Box::new(PlanningProbe::new(cache)) as Box<dyn SpeculationPolicy>
+        };
+        let (first, first_stats) = runner
+            .run_chunked_fallible_planned(
+                &cache,
+                chunks_of(jobs(30), 3).into_iter().map(Ok::<_, SimError>),
+                build,
+            )
+            .unwrap();
+        assert_eq!(first_stats.misses, 1);
+
+        // A second replay over the same cache is all hits, and the stats
+        // delta (not the lifetime totals) says so.
+        let (second, second_stats) = runner
+            .run_chunked_fallible_planned(
+                &cache,
+                chunks_of(jobs(30), 3).into_iter().map(Ok::<_, SimError>),
+                build,
+            )
+            .unwrap();
+        assert_eq!(first, second);
+        assert_eq!(second_stats.misses, 0);
+        assert_eq!(second_stats.hits, 60);
+
+        // Source errors still take precedence on the planned path.
+        let err = runner
+            .run_chunked_fallible_planned(
+                &cache,
+                [Err::<Vec<JobSpec>, String>("broken source".into())],
+                |_, cache| Box::new(PlanningProbe::new(cache)),
+            )
+            .unwrap_err();
+        assert_eq!(err, ReplayError::Source("broken source".to_string()));
     }
 
     #[test]

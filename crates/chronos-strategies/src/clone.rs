@@ -1,12 +1,14 @@
 //! The Clone strategy (Section III / VI.A): launch `r + 1` attempts of every
 //! task at submission, prune to the best-progress attempt at `τ_kill`.
 
-use crate::common::ChronosPolicyConfig;
+use crate::common::{ChronosPolicyConfig, PolicyPlanner};
 use chronos_core::StrategyKind;
 use chronos_sim::prelude::{
-    CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy, SubmitDecision,
+    CheckSchedule, JobSubmitView, JobView, PlanCache, PolicyAction, SimError, SpeculationPolicy,
+    SubmitDecision,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The proactive cloning policy.
 ///
@@ -26,16 +28,37 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ClonePolicy {
-    config: ChronosPolicyConfig,
+    planner: PolicyPlanner,
     chosen_r: BTreeMap<u64, u32>,
 }
 
 impl ClonePolicy {
-    /// Creates the policy with the given Chronos configuration.
+    /// Creates the policy with the given Chronos configuration. Plans are
+    /// memoized per policy instance; use [`ClonePolicy::with_cache`] to
+    /// share them across policies and shards.
     #[must_use]
     pub fn new(config: ChronosPolicyConfig) -> Self {
+        ClonePolicy::from_planner(PolicyPlanner::new(config))
+    }
+
+    /// Creates the policy over a shared plan cache: every policy instance
+    /// handed a clone of the same `Arc` (e.g. one per shard of a sharded
+    /// replay) solves each distinct job profile once, cluster-wide.
+    #[must_use]
+    pub fn with_cache(config: ChronosPolicyConfig, cache: Arc<PlanCache>) -> Self {
+        ClonePolicy::from_planner(PolicyPlanner::with_cache(config, cache))
+    }
+
+    /// Creates the policy with memoization disabled — the bit-identical
+    /// reference path the scale tests compare the cached paths against.
+    #[must_use]
+    pub fn uncached(config: ChronosPolicyConfig) -> Self {
+        ClonePolicy::from_planner(PolicyPlanner::uncached(config))
+    }
+
+    fn from_planner(planner: PolicyPlanner) -> Self {
         ClonePolicy {
-            config,
+            planner,
             chosen_r: BTreeMap::new(),
         }
     }
@@ -43,7 +66,7 @@ impl ClonePolicy {
     /// The configuration this policy optimizes with.
     #[must_use]
     pub fn config(&self) -> &ChronosPolicyConfig {
-        &self.config
+        self.planner.config()
     }
 
     /// The `r` chosen for a job, if it has been submitted already.
@@ -58,8 +81,13 @@ impl SpeculationPolicy for ClonePolicy {
         "clone".to_string()
     }
 
+    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+        self.planner.warm_batch(jobs, StrategyKind::Clone);
+        Ok(())
+    }
+
     fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision {
-        let r = self.config.optimize_r(job, StrategyKind::Clone);
+        let r = self.planner.optimize_r(job, StrategyKind::Clone);
         self.chosen_r.insert(job.job.raw(), r);
         SubmitDecision {
             extra_clones_per_task: r,
@@ -68,7 +96,7 @@ impl SpeculationPolicy for ClonePolicy {
     }
 
     fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule {
-        let (_, tau_kill) = self.config.timing.resolve(job.profile.t_min());
+        let (_, tau_kill) = self.config().timing.resolve(job.profile.t_min());
         CheckSchedule::AtOffsets(vec![tau_kill])
     }
 

@@ -3,8 +3,10 @@
 
 use crate::timing::StrategyTiming;
 use chronos_core::prelude::*;
-use chronos_sim::prelude::{AttemptView, JobSubmitView, JobView, TaskView};
+use chronos_plan::{CacheStats, Plan, PlanCache, PlanRequest, Planner};
+use chronos_sim::prelude::{AttemptView, JobSubmitView, JobView, SimError, TaskView};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Configuration shared by the three Chronos policies: the net-utility
 /// objective, the optimizer settings, the timing of `τ_est`/`τ_kill` and a
@@ -128,6 +130,197 @@ impl ChronosPolicyConfig {
 impl Default for ChronosPolicyConfig {
     fn default() -> Self {
         ChronosPolicyConfig::testbed()
+    }
+}
+
+/// How a [`PolicyPlanner`] executes its optimizations.
+#[derive(Debug, Clone)]
+enum PlanBackend {
+    /// Unmemoized: every call rebuilds the models and re-runs Algorithm 1,
+    /// exactly like [`ChronosPolicyConfig::try_optimize_r`]. The reference
+    /// the memoized paths are bit-compared against.
+    Direct,
+    /// Memoized through a `chronos-plan` [`Planner`] (private or shared
+    /// cache).
+    Planned(Planner),
+    /// The optimizer configuration failed validation; every planning
+    /// attempt reproduces that error, matching the direct path's behaviour
+    /// for an invalid configuration.
+    Broken(ChronosError),
+}
+
+/// The planning front-end shared by the three Chronos policies: turns
+/// submit-time job views into `chronos-plan` requests, memoizes the solved
+/// plans (per-policy or across policies/shards via a shared
+/// [`PlanCache`]), and resolves errors to the configured fallback `r`
+/// exactly like the historical per-job path.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_strategies::prelude::*;
+/// use chronos_sim::prelude::PlanCache;
+///
+/// let cache = PlanCache::shared();
+/// let planner = PolicyPlanner::with_cache(ChronosPolicyConfig::testbed(), cache);
+/// assert_eq!(planner.cache_stats().unwrap().lookups(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolicyPlanner {
+    config: ChronosPolicyConfig,
+    backend: PlanBackend,
+}
+
+impl PolicyPlanner {
+    /// A memoizing planner with a fresh private cache: plans are reused
+    /// across the jobs this policy instance sees, but not across policies
+    /// or shards.
+    #[must_use]
+    pub fn new(config: ChronosPolicyConfig) -> Self {
+        PolicyPlanner::with_shared(config, None)
+    }
+
+    /// A memoizing planner over a shared cache: every policy (and every
+    /// shard's policy instance) handed a clone of the same `Arc` reuses one
+    /// plan per distinct job profile.
+    #[must_use]
+    pub fn with_cache(config: ChronosPolicyConfig, cache: Arc<PlanCache>) -> Self {
+        PolicyPlanner::with_shared(config, Some(cache))
+    }
+
+    /// An unmemoized planner: the bit-identical reference path (used by the
+    /// scale tests and the `planner` benches to prove memoization changes
+    /// wall-clock only).
+    #[must_use]
+    pub fn uncached(config: ChronosPolicyConfig) -> Self {
+        PolicyPlanner {
+            config,
+            backend: PlanBackend::Direct,
+        }
+    }
+
+    fn with_shared(config: ChronosPolicyConfig, cache: Option<Arc<PlanCache>>) -> Self {
+        let backend = match Optimizer::with_config(config.objective, config.optimizer) {
+            Ok(optimizer) => PlanBackend::Planned(match cache {
+                Some(cache) => Planner::with_cache(optimizer, cache),
+                None => Planner::from_optimizer(optimizer),
+            }),
+            Err(err) => PlanBackend::Broken(err),
+        };
+        PolicyPlanner { config, backend }
+    }
+
+    /// The policy configuration this planner optimizes under.
+    #[must_use]
+    pub fn config(&self) -> &ChronosPolicyConfig {
+        &self.config
+    }
+
+    /// Counter snapshot of the backing cache (`None` for the uncached
+    /// reference backend).
+    #[must_use]
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        match &self.backend {
+            PlanBackend::Planned(planner) => Some(planner.stats()),
+            _ => None,
+        }
+    }
+
+    /// The plan request corresponding to a submitted job under `kind`: the
+    /// analytical profile plus the resolved strategy timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates profile construction and strategy validation failures
+    /// (e.g. a deadline at or below `t_min`, or a `τ_est` incompatible with
+    /// the deadline) — the cases the policies resolve to `fallback_r`.
+    pub fn request_for(
+        &self,
+        job: &JobSubmitView,
+        kind: StrategyKind,
+    ) -> Result<PlanRequest, ChronosError> {
+        let profile = self.config.job_profile(job)?;
+        let (tau_est, tau_kill) = self.config.timing.resolve(job.profile.t_min());
+        let params = match kind {
+            StrategyKind::Clone => StrategyParams::clone_strategy(tau_kill),
+            StrategyKind::SpeculativeRestart => StrategyParams::restart(tau_est, tau_kill)?,
+            StrategyKind::SpeculativeResume => {
+                let phi =
+                    expected_straggler_progress(tau_est, job.deadline_secs, job.profile.beta());
+                StrategyParams::resume(tau_est, tau_kill, phi)?
+            }
+        };
+        Ok(PlanRequest::new(profile, params))
+    }
+
+    /// Plans one submitted job, memoized (unless this is the uncached
+    /// reference backend). The plan's outcome is bit-identical to
+    /// [`ChronosPolicyConfig::try_optimize_r`] on the same inputs.
+    ///
+    /// # Errors
+    ///
+    /// Any planner error is returned as a [`SimError`] that names the job
+    /// id (via [`SimError::with_context`]), so a surfaced planning failure
+    /// is always attributable to its job.
+    pub fn try_plan(&self, job: &JobSubmitView, kind: StrategyKind) -> Result<Plan, SimError> {
+        let named = |err: ChronosError| {
+            SimError::from(err).with_context(format_args!("planning {}", job.job))
+        };
+        let request = self.request_for(job, kind).map_err(named)?;
+        match &self.backend {
+            PlanBackend::Direct => {
+                // The one definition of an uncached solve lives in
+                // chronos-plan; rebuilding the optimizer per call preserves
+                // the legacy per-submission cost profile this backend is
+                // the reference for.
+                let optimizer =
+                    Optimizer::with_config(self.config.objective, self.config.optimizer)
+                        .map_err(named)?;
+                Planner::from_optimizer(optimizer)
+                    .solve_uncached(&request)
+                    .map_err(named)
+            }
+            PlanBackend::Planned(planner) => planner.plan_request(&request).map_err(named),
+            PlanBackend::Broken(err) => Err(named(err.clone())),
+        }
+    }
+
+    /// The `r` a policy should use for a submitted job: the forced
+    /// [`ChronosPolicyConfig::fixed_r`] when set, the planned optimum when
+    /// the problem is solvable, and [`ChronosPolicyConfig::fallback_r`]
+    /// otherwise — element-for-element identical to the historical
+    /// [`ChronosPolicyConfig::optimize_r`] path.
+    #[must_use]
+    pub fn optimize_r(&self, job: &JobSubmitView, kind: StrategyKind) -> u32 {
+        if let Some(fixed) = self.config.fixed_r {
+            return fixed;
+        }
+        self.try_plan(job, kind)
+            .map(|plan| plan.outcome.r)
+            .unwrap_or(self.config.fallback_r)
+    }
+
+    /// Batches the planning of a whole submitted batch (the
+    /// `SpeculationPolicy::on_job_batch` hook): deduplicates the batch by
+    /// profile key and solves each distinct profile once into the cache, so
+    /// the per-job [`PolicyPlanner::optimize_r`] calls that follow are pure
+    /// lookups. Jobs whose request cannot even be formed (and per-job
+    /// planning errors) are left for the per-job path to resolve to
+    /// `fallback_r`, exactly as before batching — this hook never fails.
+    pub fn warm_batch(&self, jobs: &[JobSubmitView], kind: StrategyKind) {
+        if self.config.fixed_r.is_some() {
+            return;
+        }
+        if let PlanBackend::Planned(planner) = &self.backend {
+            let requests: Vec<PlanRequest> = jobs
+                .iter()
+                .filter_map(|job| self.request_for(job, kind).ok())
+                .collect();
+            // One worker: this already runs inside a shard worker thread;
+            // the win here is deduplication + cross-shard memoization, not
+            // more threads.
+            let _ = planner.plan_batch(&requests, 1);
+        }
     }
 }
 
@@ -360,6 +553,113 @@ mod tests {
         assert!(is_straggler(&unknown, &view));
         // But a task with no active attempts cannot be speculated on.
         assert!(!is_straggler(&idle, &view));
+    }
+
+    #[test]
+    fn policy_planner_matches_the_legacy_unmemoized_path() {
+        // All three backends must agree with ChronosPolicyConfig::optimize_r
+        // on every job and strategy — memoization is wall-clock only.
+        let cfg = ChronosPolicyConfig::testbed();
+        let cache = PlanCache::shared();
+        let planners = [
+            PolicyPlanner::new(cfg),
+            PolicyPlanner::with_cache(cfg, Arc::clone(&cache)),
+            PolicyPlanner::uncached(cfg),
+        ];
+        for deadline in [21.0, 60.0, 100.0, 300.0] {
+            for kind in StrategyKind::ALL {
+                let legacy = cfg.optimize_r(&submit_view(deadline), kind);
+                for planner in &planners {
+                    assert_eq!(
+                        planner.optimize_r(&submit_view(deadline), kind),
+                        legacy,
+                        "deadline {deadline}, {kind}"
+                    );
+                }
+            }
+        }
+        // The shared-cache planner actually memoized that sweep.
+        let stats = cache.stats();
+        assert!(stats.misses > 0);
+        assert_eq!(stats.entries, stats.misses);
+    }
+
+    #[test]
+    fn policy_planner_memoizes_repeated_profiles() {
+        let planner = PolicyPlanner::new(ChronosPolicyConfig::testbed());
+        for _ in 0..10 {
+            let _ = planner.optimize_r(&submit_view(100.0), StrategyKind::SpeculativeResume);
+        }
+        let stats = planner.cache_stats().unwrap();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 9);
+        assert!(PolicyPlanner::uncached(ChronosPolicyConfig::testbed())
+            .cache_stats()
+            .is_none());
+    }
+
+    #[test]
+    fn planner_errors_name_the_job_id() {
+        // Deadline 21 s with t_min 20 s: the reactive timing is impossible,
+        // and the surfaced error must say which job could not be planned.
+        let planner = PolicyPlanner::new(ChronosPolicyConfig::testbed());
+        let err = planner
+            .try_plan(&submit_view(21.0), StrategyKind::SpeculativeRestart)
+            .unwrap_err();
+        assert!(err.to_string().contains("planning job-0"), "{err}");
+        // Errors resolve to the fallback, exactly like the legacy path.
+        assert_eq!(
+            planner.optimize_r(&submit_view(21.0), StrategyKind::SpeculativeRestart),
+            ChronosPolicyConfig::testbed().fallback_r
+        );
+    }
+
+    #[test]
+    fn warm_batch_makes_submissions_pure_lookups() {
+        let planner = PolicyPlanner::new(ChronosPolicyConfig::testbed());
+        let batch: Vec<JobSubmitView> = (0..8)
+            .map(|i| JobSubmitView {
+                job: chronos_sim::prelude::JobId::new(i),
+                ..submit_view(100.0)
+            })
+            .collect();
+        planner.warm_batch(&batch, StrategyKind::Clone);
+        let warmed = planner.cache_stats().unwrap();
+        assert_eq!(warmed.misses, 1, "one distinct profile in the batch");
+        assert_eq!(warmed.lookups(), 8);
+        // The per-job submissions that follow never solve again.
+        for view in &batch {
+            let _ = planner.optimize_r(view, StrategyKind::Clone);
+        }
+        assert_eq!(planner.cache_stats().unwrap().misses, 1);
+    }
+
+    #[test]
+    fn fixed_r_bypasses_the_planner_cache() {
+        let planner = PolicyPlanner::new(ChronosPolicyConfig::testbed().with_fixed_r(5));
+        planner.warm_batch(&[submit_view(100.0)], StrategyKind::Clone);
+        assert_eq!(
+            planner.optimize_r(&submit_view(100.0), StrategyKind::Clone),
+            5
+        );
+        assert_eq!(planner.cache_stats().unwrap().lookups(), 0);
+    }
+
+    #[test]
+    fn broken_optimizer_config_reproduces_the_validation_error() {
+        let mut cfg = ChronosPolicyConfig::testbed();
+        cfg.optimizer.eta = 0.0;
+        let planner = PolicyPlanner::new(cfg);
+        let err = planner
+            .try_plan(&submit_view(100.0), StrategyKind::Clone)
+            .unwrap_err();
+        assert!(err.to_string().contains("eta"), "{err}");
+        assert!(err.to_string().contains("planning job-0"), "{err}");
+        // And the fallback applies, as on the legacy path.
+        assert_eq!(
+            planner.optimize_r(&submit_view(100.0), StrategyKind::Clone),
+            cfg.fallback_r
+        );
     }
 
     #[test]

@@ -43,14 +43,15 @@ pub mod timing;
 pub mod prelude;
 
 pub use clone::ClonePolicy;
-pub use common::{expected_straggler_progress, ChronosPolicyConfig};
+pub use common::{expected_straggler_progress, ChronosPolicyConfig, PolicyPlanner};
 pub use hadoop::{HadoopNoSpec, HadoopSpeculate};
 pub use mantri::MantriPolicy;
 pub use restart::RestartPolicy;
 pub use resume::ResumePolicy;
 pub use timing::{StrategyTiming, Timing};
 
-use chronos_sim::prelude::SpeculationPolicy;
+use chronos_sim::prelude::{PlanCache, SpeculationPolicy};
+use std::sync::Arc;
 
 /// Identifier of every policy this crate can build, used by the experiment
 /// harness to iterate over strategy line-ups.
@@ -94,6 +95,15 @@ impl PolicyKind {
         }
     }
 
+    /// Looks a policy up by its [`PolicyKind::label`] (as accepted by the
+    /// experiment binaries' `--policy` flags).
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|kind| kind.label() == label)
+    }
+
     /// Instantiates the policy. Chronos strategies use `config`; baselines
     /// ignore it.
     #[must_use]
@@ -105,6 +115,30 @@ impl PolicyKind {
             PolicyKind::Clone => Box::new(ClonePolicy::new(config)),
             PolicyKind::SpeculativeRestart => Box::new(RestartPolicy::new(config)),
             PolicyKind::SpeculativeResume => Box::new(ResumePolicy::new(config)),
+        }
+    }
+
+    /// Instantiates the policy over a shared plan cache: the Chronos
+    /// strategies memoize their optimizations into (and out of) `cache`,
+    /// so one cache handed to a whole line-up — or to every shard of a
+    /// sharded replay — solves each distinct `(profile, strategy,
+    /// objective)` combination exactly once. Baselines ignore both
+    /// arguments; handing them a cache is harmless.
+    #[must_use]
+    pub fn build_with_cache(
+        &self,
+        config: ChronosPolicyConfig,
+        cache: &Arc<PlanCache>,
+    ) -> Box<dyn SpeculationPolicy> {
+        match self {
+            PolicyKind::Clone => Box::new(ClonePolicy::with_cache(config, Arc::clone(cache))),
+            PolicyKind::SpeculativeRestart => {
+                Box::new(RestartPolicy::with_cache(config, Arc::clone(cache)))
+            }
+            PolicyKind::SpeculativeResume => {
+                Box::new(ResumePolicy::with_cache(config, Arc::clone(cache)))
+            }
+            baseline => baseline.build(config),
         }
     }
 }

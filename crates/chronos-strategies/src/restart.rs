@@ -2,12 +2,14 @@
 //! stragglers at `τ_est`, launch `r` extra attempts from byte zero, keep the
 //! fastest attempt at `τ_kill`.
 
-use crate::common::{is_straggler, prune_keep_candidate, ChronosPolicyConfig};
+use crate::common::{is_straggler, prune_keep_candidate, ChronosPolicyConfig, PolicyPlanner};
 use chronos_core::StrategyKind;
 use chronos_sim::prelude::{
-    CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy, SubmitDecision,
+    CheckSchedule, JobSubmitView, JobView, PlanCache, PolicyAction, SimError, SpeculationPolicy,
+    SubmitDecision,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The reactive restart policy.
 ///
@@ -27,16 +29,37 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct RestartPolicy {
-    config: ChronosPolicyConfig,
+    planner: PolicyPlanner,
     chosen_r: BTreeMap<u64, u32>,
 }
 
 impl RestartPolicy {
-    /// Creates the policy with the given Chronos configuration.
+    /// Creates the policy with the given Chronos configuration. Plans are
+    /// memoized per policy instance; use [`RestartPolicy::with_cache`] to
+    /// share them across policies and shards.
     #[must_use]
     pub fn new(config: ChronosPolicyConfig) -> Self {
+        RestartPolicy::from_planner(PolicyPlanner::new(config))
+    }
+
+    /// Creates the policy over a shared plan cache: every policy instance
+    /// handed a clone of the same `Arc` (e.g. one per shard of a sharded
+    /// replay) solves each distinct job profile once, cluster-wide.
+    #[must_use]
+    pub fn with_cache(config: ChronosPolicyConfig, cache: Arc<PlanCache>) -> Self {
+        RestartPolicy::from_planner(PolicyPlanner::with_cache(config, cache))
+    }
+
+    /// Creates the policy with memoization disabled — the bit-identical
+    /// reference path the scale tests compare the cached paths against.
+    #[must_use]
+    pub fn uncached(config: ChronosPolicyConfig) -> Self {
+        RestartPolicy::from_planner(PolicyPlanner::uncached(config))
+    }
+
+    fn from_planner(planner: PolicyPlanner) -> Self {
         RestartPolicy {
-            config,
+            planner,
             chosen_r: BTreeMap::new(),
         }
     }
@@ -44,14 +67,14 @@ impl RestartPolicy {
     /// The configuration this policy optimizes with.
     #[must_use]
     pub fn config(&self) -> &ChronosPolicyConfig {
-        &self.config
+        self.planner.config()
     }
 
     fn r_for(&self, job: chronos_sim::prelude::JobId) -> u32 {
         self.chosen_r
             .get(&job.raw())
             .copied()
-            .unwrap_or(self.config.fallback_r)
+            .unwrap_or(self.config().fallback_r)
     }
 }
 
@@ -60,9 +83,15 @@ impl SpeculationPolicy for RestartPolicy {
         "s-restart".to_string()
     }
 
+    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+        self.planner
+            .warm_batch(jobs, StrategyKind::SpeculativeRestart);
+        Ok(())
+    }
+
     fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision {
         let r = self
-            .config
+            .planner
             .optimize_r(job, StrategyKind::SpeculativeRestart);
         self.chosen_r.insert(job.job.raw(), r);
         SubmitDecision {
@@ -72,7 +101,7 @@ impl SpeculationPolicy for RestartPolicy {
     }
 
     fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule {
-        let (tau_est, tau_kill) = self.config.timing.resolve(job.profile.t_min());
+        let (tau_est, tau_kill) = self.config().timing.resolve(job.profile.t_min());
         CheckSchedule::AtOffsets(vec![tau_est, tau_kill])
     }
 

@@ -2,13 +2,14 @@
 //! at `τ_est`, kill them, and launch `r + 1` fresh attempts that resume from
 //! the Eq. 31 byte offset; keep the fastest attempt at `τ_kill`.
 
-use crate::common::{is_straggler, prune_keep_candidate, ChronosPolicyConfig};
+use crate::common::{is_straggler, prune_keep_candidate, ChronosPolicyConfig, PolicyPlanner};
 use chronos_core::StrategyKind;
 use chronos_sim::prelude::{
-    CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy, SubmitDecision,
-    TaskView,
+    CheckSchedule, JobSubmitView, JobView, PlanCache, PolicyAction, SimError, SpeculationPolicy,
+    SubmitDecision, TaskView,
 };
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The work-preserving reactive policy.
 ///
@@ -28,16 +29,37 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone)]
 pub struct ResumePolicy {
-    config: ChronosPolicyConfig,
+    planner: PolicyPlanner,
     chosen_r: BTreeMap<u64, u32>,
 }
 
 impl ResumePolicy {
-    /// Creates the policy with the given Chronos configuration.
+    /// Creates the policy with the given Chronos configuration. Plans are
+    /// memoized per policy instance; use [`ResumePolicy::with_cache`] to
+    /// share them across policies and shards.
     #[must_use]
     pub fn new(config: ChronosPolicyConfig) -> Self {
+        ResumePolicy::from_planner(PolicyPlanner::new(config))
+    }
+
+    /// Creates the policy over a shared plan cache: every policy instance
+    /// handed a clone of the same `Arc` (e.g. one per shard of a sharded
+    /// replay) solves each distinct job profile once, cluster-wide.
+    #[must_use]
+    pub fn with_cache(config: ChronosPolicyConfig, cache: Arc<PlanCache>) -> Self {
+        ResumePolicy::from_planner(PolicyPlanner::with_cache(config, cache))
+    }
+
+    /// Creates the policy with memoization disabled — the bit-identical
+    /// reference path the scale tests compare the cached paths against.
+    #[must_use]
+    pub fn uncached(config: ChronosPolicyConfig) -> Self {
+        ResumePolicy::from_planner(PolicyPlanner::uncached(config))
+    }
+
+    fn from_planner(planner: PolicyPlanner) -> Self {
         ResumePolicy {
-            config,
+            planner,
             chosen_r: BTreeMap::new(),
         }
     }
@@ -45,14 +67,14 @@ impl ResumePolicy {
     /// The configuration this policy optimizes with.
     #[must_use]
     pub fn config(&self) -> &ChronosPolicyConfig {
-        &self.config
+        self.planner.config()
     }
 
     fn r_for(&self, job: chronos_sim::prelude::JobId) -> u32 {
         self.chosen_r
             .get(&job.raw())
             .copied()
-            .unwrap_or(self.config.fallback_r)
+            .unwrap_or(self.config().fallback_r)
     }
 
     /// τ_est: kill the straggling original and relaunch `r + 1` resumed
@@ -113,8 +135,16 @@ impl SpeculationPolicy for ResumePolicy {
         "s-resume".to_string()
     }
 
+    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+        self.planner
+            .warm_batch(jobs, StrategyKind::SpeculativeResume);
+        Ok(())
+    }
+
     fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision {
-        let r = self.config.optimize_r(job, StrategyKind::SpeculativeResume);
+        let r = self
+            .planner
+            .optimize_r(job, StrategyKind::SpeculativeResume);
         self.chosen_r.insert(job.job.raw(), r);
         SubmitDecision {
             extra_clones_per_task: 0,
@@ -123,7 +153,7 @@ impl SpeculationPolicy for ResumePolicy {
     }
 
     fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule {
-        let (tau_est, tau_kill) = self.config.timing.resolve(job.profile.t_min());
+        let (tau_est, tau_kill) = self.config().timing.resolve(job.profile.t_min());
         CheckSchedule::AtOffsets(vec![tau_est, tau_kill])
     }
 

@@ -1,0 +1,205 @@
+//! Distinct-profile census of a workload: how much a plan cache can help.
+//!
+//! The planner subsystem (`chronos-plan`) memoizes one optimization per
+//! distinct job profile, so its best-case hit rate on a trace is fixed by
+//! the trace alone: `1 − distinct_profiles / jobs`. A [`ProfileCensus`]
+//! computes that bound in one streaming pass over a workload — before any
+//! replay is paid — so users can predict whether the planner-backed paths
+//! (`trace_tool replay`, the `fig3`/`fig4`/`fig5 --trace` runs) will
+//! benefit. The `trace_tool stats` subcommand is the command-line front
+//! end.
+
+use chronos_core::JobProfile;
+use chronos_plan::JobProfileKey;
+use chronos_sim::prelude::JobSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Summary of a [`ProfileCensus`], in serializable form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CensusSummary {
+    /// Jobs observed.
+    pub jobs: u64,
+    /// Distinct analytical job profiles among the plannable jobs.
+    pub distinct_profiles: u64,
+    /// Jobs whose profile cannot be planned at all (e.g. a deadline at or
+    /// below `t_min`); these always cost zero optimizer work.
+    pub unplannable_jobs: u64,
+    /// Jobs in the largest profile class.
+    pub largest_class: u64,
+    /// The best hit rate any plan cache can reach on this workload:
+    /// `(plannable − distinct) / jobs`.
+    pub max_hit_rate: f64,
+}
+
+/// Streaming census of the distinct job profiles in a workload.
+///
+/// # Examples
+///
+/// ```
+/// use chronos_trace::prelude::*;
+///
+/// # fn main() -> Result<(), chronos_core::ChronosError> {
+/// // Every testbed job shares one profile: a cache would hit on all but
+/// // the first job.
+/// let jobs = TestbedWorkload::paper_setup(Benchmark::Sort, 7).with_jobs(50).generate()?;
+/// let mut census = ProfileCensus::new();
+/// census.observe_all(&jobs);
+/// let summary = census.summary();
+/// assert_eq!(summary.jobs, 50);
+/// assert_eq!(summary.distinct_profiles, 1);
+/// assert!((summary.max_hit_rate - 49.0 / 50.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProfileCensus {
+    classes: HashMap<JobProfileKey, u64>,
+    jobs: u64,
+    unplannable: u64,
+}
+
+impl ProfileCensus {
+    /// An empty census.
+    #[must_use]
+    pub fn new() -> Self {
+        ProfileCensus::default()
+    }
+
+    /// The analytical profile of a job spec, as the optimizing policies
+    /// derive it at submission time (`None` when the spec cannot be
+    /// planned, e.g. a deadline not exceeding `t_min`).
+    #[must_use]
+    pub fn profile_of(spec: &JobSpec) -> Option<JobProfile> {
+        JobProfile::builder()
+            .tasks((spec.task_count() as u32).max(1))
+            .t_min(spec.profile.t_min())
+            .beta(spec.profile.beta())
+            .deadline(spec.deadline_secs)
+            .price(spec.price)
+            .build()
+            .ok()
+    }
+
+    /// Counts one job.
+    pub fn observe(&mut self, spec: &JobSpec) {
+        self.jobs += 1;
+        match Self::profile_of(spec) {
+            Some(profile) => *self.classes.entry(JobProfileKey::of(&profile)).or_insert(0) += 1,
+            None => self.unplannable += 1,
+        }
+    }
+
+    /// Counts every job of a chunk.
+    pub fn observe_all(&mut self, specs: &[JobSpec]) {
+        for spec in specs {
+            self.observe(spec);
+        }
+    }
+
+    /// Jobs observed so far.
+    #[must_use]
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Distinct plannable profiles observed so far.
+    #[must_use]
+    pub fn distinct_profiles(&self) -> u64 {
+        self.classes.len() as u64
+    }
+
+    /// The upper bound on any plan cache's hit rate for this workload:
+    /// every plannable job beyond the first of its class can hit, nothing
+    /// else can. Zero for an empty census.
+    #[must_use]
+    pub fn max_hit_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            return 0.0;
+        }
+        let plannable = self.jobs - self.unplannable;
+        (plannable - self.distinct_profiles()) as f64 / self.jobs as f64
+    }
+
+    /// The summary in serializable form.
+    #[must_use]
+    pub fn summary(&self) -> CensusSummary {
+        CensusSummary {
+            jobs: self.jobs,
+            distinct_profiles: self.distinct_profiles(),
+            unplannable_jobs: self.unplannable,
+            largest_class: self.classes.values().copied().max().unwrap_or(0),
+            max_hit_rate: self.max_hit_rate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_core::Pareto;
+    use chronos_sim::prelude::{JobId, SimTime};
+
+    fn spec(id: u64, deadline: f64, tasks: usize) -> JobSpec {
+        JobSpec::new(
+            JobId::new(id),
+            SimTime::from_secs(id as f64),
+            deadline,
+            tasks,
+        )
+        .with_profile(Pareto::new(20.0, 1.5).unwrap())
+    }
+
+    #[test]
+    fn counts_distinct_profiles_and_classes() {
+        let mut census = ProfileCensus::new();
+        census.observe_all(&[
+            spec(0, 100.0, 4),
+            spec(1, 100.0, 4),
+            spec(2, 100.0, 4),
+            spec(3, 150.0, 4), // different deadline: new class
+            spec(4, 100.0, 8), // different task count: new class
+        ]);
+        let summary = census.summary();
+        assert_eq!(summary.jobs, 5);
+        assert_eq!(summary.distinct_profiles, 3);
+        assert_eq!(summary.largest_class, 3);
+        assert_eq!(summary.unplannable_jobs, 0);
+        assert!((summary.max_hit_rate - 2.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unplannable_jobs_are_counted_separately() {
+        let mut census = ProfileCensus::new();
+        // Deadline 10 s against t_min 20 s: no profile can be built.
+        census.observe_all(&[spec(0, 10.0, 4), spec(1, 100.0, 4)]);
+        let summary = census.summary();
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(summary.unplannable_jobs, 1);
+        assert_eq!(summary.distinct_profiles, 1);
+        assert_eq!(summary.max_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn empty_census_is_well_defined() {
+        let summary = ProfileCensus::new().summary();
+        assert_eq!(summary.jobs, 0);
+        assert_eq!(summary.max_hit_rate, 0.0);
+        assert_eq!(summary.largest_class, 0);
+    }
+
+    #[test]
+    fn google_trace_profiles_are_mostly_unique() {
+        // The synthetic Google generator samples per-job t_min values, so
+        // a census must (honestly) predict little planner benefit there.
+        let jobs = crate::google::GoogleTraceConfig::scaled(100, 3)
+            .generate()
+            .unwrap()
+            .into_jobs();
+        let mut census = ProfileCensus::new();
+        census.observe_all(&jobs);
+        assert_eq!(census.jobs(), 100);
+        assert!(census.distinct_profiles() > 90);
+        assert!(census.max_hit_rate() < 0.1);
+    }
+}

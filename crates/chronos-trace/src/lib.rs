@@ -14,7 +14,9 @@
 //!   specification),
 //! * [`pricing`] — fixed and EC2-spot-like price models,
 //! * [`contention`] — the background-load model that produces the heavy
-//!   (Pareto, `β < 2`) task-time tails and persistent slow nodes.
+//!   (Pareto, `β < 2`) task-time tails and persistent slow nodes,
+//! * [`census`] — a streaming distinct-profile census that predicts how
+//!   much the `chronos-plan` cache can help on a given trace.
 //!
 //! Each substitution for data the paper used but which cannot be
 //! redistributed (EC2 spot history, the Google trace, Stress-injected noise)
@@ -37,6 +39,7 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_code)]
 
+pub mod census;
 pub mod contention;
 pub mod google;
 pub mod loader;
@@ -45,6 +48,7 @@ pub mod workload;
 
 pub mod prelude;
 
+pub use census::{CensusSummary, ProfileCensus};
 pub use contention::{ContentionLevel, ContentionModel};
 pub use google::{GoogleTraceConfig, GoogleTraceStream, SyntheticTrace};
 pub use loader::{

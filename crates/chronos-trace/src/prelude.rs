@@ -1,5 +1,6 @@
 //! Convenience re-exports for workload construction.
 
+pub use crate::census::{CensusSummary, ProfileCensus};
 pub use crate::contention::{ContentionLevel, ContentionModel};
 pub use crate::google::{GoogleTraceConfig, GoogleTraceStream, SyntheticTrace};
 pub use crate::loader::{

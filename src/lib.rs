@@ -46,6 +46,7 @@
 #![deny(unsafe_code)]
 
 pub use chronos_core as core;
+pub use chronos_plan as plan;
 pub use chronos_sim as sim;
 pub use chronos_strategies as strategies;
 pub use chronos_trace as trace;
@@ -53,6 +54,10 @@ pub use chronos_trace as trace;
 /// One-stop imports for the whole framework.
 pub mod prelude {
     pub use chronos_core::prelude::*;
+    pub use chronos_plan::prelude::{
+        canonical_f64_bits, CacheStats, JobProfileKey, Plan, PlanCache, PlanRequest, PlanResult,
+        Planner, ProfileKey,
+    };
     pub use chronos_sim::prelude::{
         shard_seed, ClusterSpec, EstimatorKind, JobId, JobSpec, JvmModel, LatencyHistogram,
         ReplayError, ShardSpec, ShardedRunner, SimConfig, SimError, SimTime, Simulation,
@@ -60,12 +65,12 @@ pub mod prelude {
     };
     pub use chronos_strategies::prelude::{
         ChronosPolicyConfig, ClonePolicy, HadoopNoSpec, HadoopSpeculate, MantriPolicy, PolicyKind,
-        RestartPolicy, ResumePolicy, StrategyTiming, Timing,
+        PolicyPlanner, RestartPolicy, ResumePolicy, StrategyTiming, Timing,
     };
     pub use chronos_trace::prelude::{
-        write_trace, Benchmark, ContentionLevel, ContentionModel, GoogleTraceConfig,
-        GoogleTraceStream, PriceModel, SyntheticTrace, TestbedWorkload, TraceHeader, TraceLoader,
-        TraceParseError, TraceStream, TraceWriteError, TraceWriter, WorkloadStream,
+        write_trace, Benchmark, CensusSummary, ContentionLevel, ContentionModel, GoogleTraceConfig,
+        GoogleTraceStream, PriceModel, ProfileCensus, SyntheticTrace, TestbedWorkload, TraceHeader,
+        TraceLoader, TraceParseError, TraceStream, TraceWriteError, TraceWriter, WorkloadStream,
     };
 }
 
@@ -83,5 +88,12 @@ mod tests {
         assert_eq!(policies.len(), 6);
         let benchmark = Benchmark::Sort;
         assert_eq!(benchmark.deadline_secs(), 100.0);
+        // The planning layer is reachable through the facade too.
+        let planner = Planner::new(UtilityModel::default());
+        let plan = planner
+            .plan(&job, &StrategyParams::clone_strategy(80.0))
+            .unwrap();
+        assert!(plan.outcome.pocd > plan.baseline_pocd);
+        assert_eq!(planner.stats().misses, 1);
     }
 }

@@ -11,10 +11,18 @@
 //!
 //! ```text
 //! trace_tool generate --jobs N --seed S --out trace.csv [--chunk-size C]
+//! trace_tool convert  IN OUT --format google-2011 [--deadline-factor F] [--chunk-size C]
 //! trace_tool replay --trace trace.csv   [--policy P] [--workers W] [--chunk-size C] [--out report.json]
 //! trace_tool replay --jobs N --seed S   [--policy P] [--workers W] [--chunk-size C] [--out report.json]
 //! trace_tool stats  --trace trace.csv   [--chunk-size C]
 //! ```
+//!
+//! `convert` ingests a foreign trace file (currently the 2011 Google
+//! cluster-trace `task_events` CSV schema — see `chronos_trace::convert`)
+//! into a validated v1 trace, then prints the distinct-profile census of
+//! the converted output so the plan-cache benefit of a future replay is
+//! visible immediately. CI's `trace-convert-smoke` job byte-compares the
+//! converted fixture against a golden and replays it at 8 vs 1 workers.
 //!
 //! Both replay forms use the same fixed simulator configuration and seed,
 //! the same policy (Hadoop-NS unless `--policy` says otherwise) and the
@@ -49,12 +57,34 @@ const DEFAULT_CHUNK_SIZE: u32 = 512;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  trace_tool generate --jobs N --seed S --out PATH [--chunk-size C]\n  \
+         trace_tool convert IN OUT --format F [--deadline-factor D] [--chunk-size C]\n  \
          trace_tool replay --trace PATH [--policy P] [--workers W] [--chunk-size C] [--out PATH]\n  \
          trace_tool replay --jobs N --seed S [--policy P] [--workers W] [--chunk-size C] [--out PATH]\n  \
          trace_tool stats --trace PATH [--chunk-size C]\n\n  \
-         policies: hadoop-ns (default), hadoop-s, mantri, clone, s-restart, s-resume"
+         policies: hadoop-ns (default), hadoop-s, mantri, clone, s-restart, s-resume\n  \
+         foreign formats: {}",
+        chronos_trace::convert::FORMATS.join(", ")
     );
     ExitCode::from(2)
+}
+
+/// The arguments that are not flags or flag values, in order.
+/// `flags_with_value` lists every flag whose following argument is its
+/// value (and therefore not a positional).
+fn positionals<'a>(args: &'a [String], flags_with_value: &[&str]) -> Vec<&'a str> {
+    let mut found = Vec::new();
+    let mut index = 0;
+    while index < args.len() {
+        if flags_with_value.contains(&args[index].as_str()) {
+            index += 2;
+        } else if args[index].starts_with("--") {
+            index += 1;
+        } else {
+            found.push(args[index].as_str());
+            index += 1;
+        }
+    }
+    found
 }
 
 /// Looks up the value following `flag`, parsed with `FromStr`.
@@ -188,10 +218,10 @@ fn replay(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(args: &[String]) -> Result<(), String> {
-    let trace: PathBuf = flag_value(args, "--trace")?.ok_or("stats needs --trace")?;
-    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
-    let stream = TraceLoader::open(&trace)
+/// Streams `trace` through a [`ProfileCensus`] and prints the summary —
+/// the shared back end of `stats` and the post-conversion report.
+fn print_census(trace: &Path, chunk_size: u32) -> Result<(), String> {
+    let stream = TraceLoader::open(trace)
         .map_err(|err| format!("opening {}: {err}", trace.display()))?
         .stream(chunk_size)
         .map_err(|err| err.to_string())?;
@@ -213,10 +243,77 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn stats(args: &[String]) -> Result<(), String> {
+    let trace: PathBuf = flag_value(args, "--trace")?.ok_or("stats needs --trace")?;
+    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
+    print_census(&trace, chunk_size)
+}
+
+fn convert(args: &[String]) -> Result<(), String> {
+    let format: String = flag_value(args, "--format")?.ok_or_else(|| {
+        format!(
+            "convert needs --format (supported: {})",
+            chronos_trace::convert::FORMATS.join(", ")
+        )
+    })?;
+    let deadline_factor: Option<f64> = flag_value(args, "--deadline-factor")?;
+    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
+    let positional = positionals(args, &["--format", "--deadline-factor", "--chunk-size"]);
+    let [input, output] = positional.as_slice() else {
+        return Err(format!(
+            "convert needs exactly two positional arguments (IN OUT), got {}",
+            positional.len()
+        ));
+    };
+
+    // Dispatch through the registry so a newly registered schema reaches
+    // the CLI without touching this match; only the google-2011-specific
+    // --deadline-factor knob needs the concrete type.
+    let mut converter: Box<dyn TraceConverter> = converter_for(&format).ok_or_else(|| {
+        format!(
+            "--format: unknown foreign format `{format}` (supported: {})",
+            chronos_trace::convert::FORMATS.join(", ")
+        )
+    })?;
+    if let Some(factor) = deadline_factor {
+        if format != chronos_trace::convert::GOOGLE_2011_FORMAT {
+            return Err(format!(
+                "--deadline-factor is not supported by format `{format}`"
+            ));
+        }
+        converter = Box::new(
+            GoogleClusterTraceConverter::new()
+                .with_deadline_factor(factor)
+                .map_err(|err| format!("--deadline-factor: {err}"))?,
+        );
+    }
+
+    let summary = converter
+        .convert_files(Path::new(input), Path::new(output))
+        .map_err(|err| format!("converting {input}: {err}"))?;
+    println!(
+        "converted {} jobs ({} tasks) from {} {} events -> {output}",
+        summary.jobs,
+        summary.tasks,
+        summary.events,
+        converter.format(),
+    );
+    if summary.skipped_jobs > 0 {
+        println!(
+            "skipped {} jobs with no completed task (nothing to fit)",
+            summary.skipped_jobs
+        );
+    }
+    // The census of the converted output doubles as an end-to-end check:
+    // it re-parses the file we just wrote.
+    print_census(Path::new(output), chunk_size)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let outcome = match args.get(1).map(String::as_str) {
         Some("generate") => generate(&args[2..]),
+        Some("convert") => convert(&args[2..]),
         Some("replay") => replay(&args[2..]),
         Some("stats") => stats(&args[2..]),
         _ => return usage(),

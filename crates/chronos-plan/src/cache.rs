@@ -74,8 +74,27 @@ impl CacheStats {
 
     /// The counter deltas accumulated since `earlier` was snapshotted.
     /// `entries` is not a counter and keeps this snapshot's value.
+    ///
+    /// # Contract
+    ///
+    /// `earlier` must be an **earlier snapshot of the same cache**. The
+    /// monotone counters (`hits`, `misses`, `evictions`) never decrease
+    /// over a cache's lifetime — [`PlanCache::clear`] deliberately
+    /// preserves them exactly so that a snapshot taken before a `clear`
+    /// stays a valid `earlier` afterwards — so a componentwise-greater
+    /// `earlier` can only mean the arguments were swapped or the snapshots
+    /// come from two different caches. Debug builds reject that with a
+    /// panic; release builds saturate each delta to zero rather than
+    /// underflow.
     #[must_use]
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        debug_assert!(
+            earlier.hits <= self.hits
+                && earlier.misses <= self.misses
+                && earlier.evictions <= self.evictions,
+            "CacheStats::since: `earlier` ({earlier:?}) is not componentwise <= `self` \
+             ({self:?}); snapshots must come from the same cache, oldest passed as `earlier`"
+        );
         CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
@@ -249,8 +268,11 @@ impl PlanCache {
         self.len() == 0
     }
 
-    /// Drops every entry. Counters are preserved (they are lifetime totals;
-    /// use [`CacheStats::since`] for per-region deltas).
+    /// Drops every entry. Counters are preserved — they are lifetime
+    /// totals, which keeps every previously taken [`CacheStats`] snapshot
+    /// a valid `earlier` argument to [`CacheStats::since`] even across a
+    /// clear (resetting them here would make such deltas silently
+    /// saturate to zero).
     pub fn clear(&self) {
         for stripe in &self.stripes {
             stripe.lock().expect("plan cache stripe poisoned").clear();
@@ -397,6 +419,35 @@ mod tests {
         let text = delta.to_string();
         assert!(text.contains("1 hits"), "{text}");
         assert!(text.contains("50.00% hit rate"), "{text}");
+    }
+
+    #[test]
+    fn snapshots_taken_before_clear_stay_valid_for_since() {
+        let cache = PlanCache::new();
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        let before = cache.stats();
+        assert_eq!((before.hits, before.misses, before.entries), (1, 1, 1));
+
+        // clear() drops the entries but preserves the counters, so the
+        // pre-clear snapshot still subtracts correctly afterwards.
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_or_compute(key(100.0), || plan(2)).unwrap(); // re-solved: miss
+        cache.get_or_compute(key(120.0), || plan(3)).unwrap(); // new key: miss
+        let delta = cache.stats().since(&before);
+        assert_eq!((delta.hits, delta.misses, delta.entries), (0, 2, 2));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "componentwise")]
+    fn since_rejects_a_backwards_snapshot_in_debug() {
+        let cache = PlanCache::new();
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        let later = cache.stats();
+        // Swapped arguments: `earlier` has more misses than `self`.
+        let _ = CacheStats::default().since(&later);
     }
 
     #[test]

@@ -2,7 +2,10 @@
 //!
 //! The planner subsystem (`chronos-plan`) memoizes one optimization per
 //! distinct job profile, so its best-case hit rate on a trace is fixed by
-//! the trace alone: `1 − distinct_profiles / jobs`. A [`ProfileCensus`]
+//! the trace alone: `(plannable − distinct_profiles) / jobs`, where
+//! `plannable` excludes the jobs no profile can be built for — those never
+//! reach the cache, so they can never hit (see
+//! [`ProfileCensus::max_hit_rate`]). A [`ProfileCensus`]
 //! computes that bound in one streaming pass over a workload — before any
 //! replay is paid — so users can predict whether the planner-backed paths
 //! (`trace_tool replay`, the `fig3`/`fig4`/`fig5 --trace` runs) will
@@ -110,8 +113,34 @@ impl ProfileCensus {
     }
 
     /// The upper bound on any plan cache's hit rate for this workload:
-    /// every plannable job beyond the first of its class can hit, nothing
-    /// else can. Zero for an empty census.
+    /// `(plannable − distinct_profiles) / jobs`. Every plannable job beyond
+    /// the first of its class can hit, nothing else can — in particular an
+    /// unplannable job never reaches the cache, so the naive
+    /// `1 − distinct_profiles / jobs` overstates the bound whenever
+    /// unplannable jobs exist. Zero for an empty census.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use chronos_core::Pareto;
+    /// use chronos_sim::prelude::{JobId, JobSpec, SimTime};
+    /// use chronos_trace::census::ProfileCensus;
+    ///
+    /// let profile = Pareto::new(20.0, 1.5).unwrap();
+    /// let mut census = ProfileCensus::new();
+    /// census.observe_all(&[
+    ///     // Two plannable jobs sharing one profile...
+    ///     JobSpec::new(JobId::new(0), SimTime::ZERO, 100.0, 4).with_profile(profile),
+    ///     JobSpec::new(JobId::new(1), SimTime::ZERO, 100.0, 4).with_profile(profile),
+    ///     // ...and one whose 10 s deadline is below t_min: unplannable.
+    ///     JobSpec::new(JobId::new(2), SimTime::ZERO, 10.0, 4).with_profile(profile),
+    /// ]);
+    /// let summary = census.summary();
+    /// assert_eq!(summary.unplannable_jobs, 1);
+    /// // plannable = 2, distinct = 1, jobs = 3: the bound is 1/3 —
+    /// // the naive 1 − distinct/jobs would claim 2/3.
+    /// assert_eq!(census.max_hit_rate(), (2.0 - 1.0) / 3.0);
+    /// ```
     #[must_use]
     pub fn max_hit_rate(&self) -> f64 {
         if self.jobs == 0 {

@@ -9,9 +9,15 @@
 //! * [`loader`] — the `chronos-trace` v1 on-disk trace format: a streaming
 //!   [`loader::TraceLoader`] that parses trace files into validated
 //!   [`chronos_sim::prelude::JobSpec`] chunks (with typed errors naming the
-//!   offending line/column) and a [`loader::TraceWriter`] that round-trips
-//!   any workload to disk bit-exactly (see the module docs for the format
-//!   specification),
+//!   offending line/column, duplicate job ids included) and a
+//!   [`loader::TraceWriter`] that round-trips any workload to disk
+//!   bit-exactly (see the module docs for the format specification),
+//! * [`convert`] — foreign-format ingestion: the streaming
+//!   [`convert::TraceConverter`] trait and the
+//!   [`convert::GoogleClusterTraceConverter`] for the 2011 Google
+//!   cluster-trace `task_events` CSV schema, fitting per-job Pareto
+//!   profiles by method of moments and emitting validated v1 through the
+//!   writer (see the module docs for the schema and the fit),
 //! * [`pricing`] — fixed and EC2-spot-like price models,
 //! * [`contention`] — the background-load model that produces the heavy
 //!   (Pareto, `β < 2`) task-time tails and persistent slow nodes,
@@ -41,6 +47,7 @@
 
 pub mod census;
 pub mod contention;
+pub mod convert;
 pub mod google;
 pub mod loader;
 pub mod pricing;
@@ -50,6 +57,9 @@ pub mod prelude;
 
 pub use census::{CensusSummary, ProfileCensus};
 pub use contention::{ContentionLevel, ContentionModel};
+pub use convert::{
+    converter_for, ConvertError, ConvertSummary, GoogleClusterTraceConverter, TraceConverter,
+};
 pub use google::{GoogleTraceConfig, GoogleTraceStream, SyntheticTrace};
 pub use loader::{
     write_trace, TraceHeader, TraceLoader, TraceParseError, TraceStream, TraceWriteError,

@@ -46,7 +46,7 @@
 //!
 //! | column | type | meaning |
 //! |---|---|---|
-//! | `job_id` | `u64` | caller-assigned id, unique within the trace |
+//! | `job_id` | `u64` | caller-assigned id, unique within the trace (enforced on both ends: a repeated id is [`TraceParseError::DuplicateJobId`] on load and [`TraceWriteError::DuplicateJobId`] on write) |
 //! | `submit_time_s` | `f64 ≥ 0` | absolute submission instant, seconds |
 //! | `map_tasks` | `u32 ≥ 1` | number of map tasks |
 //! | `reduce_tasks` | `u32` | carried for format fidelity; the simulator models the map phase (Section III), so this column is validated but not replayed |
@@ -190,6 +190,14 @@ pub enum TraceParseError {
         /// This row's (earlier) submission time, seconds.
         found_secs: f64,
     },
+    /// A row repeats a `job_id` an earlier row already used: the v1 format
+    /// requires job ids unique within the trace.
+    DuplicateJobId {
+        /// Offending line (the second occurrence).
+        line: usize,
+        /// The repeated id.
+        job_id: u64,
+    },
     /// The file ended before yielding the job count the header declared.
     Truncated {
         /// Line at which the end of file was hit.
@@ -233,6 +241,7 @@ impl TraceParseError {
             | TraceParseError::UnknownColumn { line, .. }
             | TraceParseError::Field { line, .. }
             | TraceParseError::NonMonotonicSubmit { line, .. }
+            | TraceParseError::DuplicateJobId { line, .. }
             | TraceParseError::Truncated { line, .. }
             | TraceParseError::TrailingRow { line, .. }
             | TraceParseError::InvalidSpec { line, .. } => *line,
@@ -283,6 +292,10 @@ impl fmt::Display for TraceParseError {
                 f,
                 "line {line}: non-monotonic submit time: {found_secs} s is earlier than the previous row's {previous_secs} s"
             ),
+            TraceParseError::DuplicateJobId { line, job_id } => write!(
+                f,
+                "line {line}: duplicate job_id {job_id} (v1 requires job ids unique within the trace)"
+            ),
             TraceParseError::Truncated {
                 line,
                 declared,
@@ -326,6 +339,13 @@ pub enum TraceWriteError {
         /// The offending (earlier) submission time, seconds.
         found_secs: f64,
     },
+    /// A job repeats an id a previously written job already used: the v1
+    /// format requires job ids unique within the trace, and a file
+    /// violating that would be rejected by the loader.
+    DuplicateJobId {
+        /// The repeated id.
+        job: u64,
+    },
     /// A job's task-time profile has `β ≤ 1`: its mean task time is
     /// infinite, so the mandatory `mean_task_duration_s` column cannot be
     /// produced.
@@ -364,6 +384,10 @@ impl fmt::Display for TraceWriteError {
             } => write!(
                 f,
                 "job {job}: submit time {found_secs} s is earlier than the previously written row's {previous_secs} s (rows must be sorted by submission time)"
+            ),
+            TraceWriteError::DuplicateJobId { job } => write!(
+                f,
+                "job {job}: duplicate job_id (v1 requires job ids unique within the trace)"
             ),
             TraceWriteError::InfiniteMean { job, beta } => write!(
                 f,
@@ -509,7 +533,9 @@ impl<R: BufRead> TraceLoader<R> {
     }
 
     /// Streams the trace as chunks of at most `chunk_size` validated job
-    /// specs, in file order, keeping one chunk in memory at a time.
+    /// specs, in file order, keeping one chunk in memory at a time (plus
+    /// the set of job ids seen so far — 8 bytes per job — which enforces
+    /// the format's id-uniqueness requirement across chunks).
     ///
     /// The returned iterator yields `Result` items and **fuses after the
     /// first error** — feed it to
@@ -529,6 +555,7 @@ impl<R: BufRead> TraceLoader<R> {
             chunk_size,
             rows_yielded: 0,
             previous_submit_secs: None,
+            seen_job_ids: std::collections::HashSet::new(),
             done: false,
         })
     }
@@ -557,6 +584,7 @@ pub struct TraceStream<R> {
     chunk_size: u32,
     rows_yielded: u64,
     previous_submit_secs: Option<f64>,
+    seen_job_ids: std::collections::HashSet<u64>,
     done: bool,
 }
 
@@ -598,6 +626,12 @@ impl<R: BufRead> TraceStream<R> {
                     found_secs: submit_secs,
                 });
             }
+        }
+        if !self.seen_job_ids.insert(spec.id.raw()) {
+            return Err(TraceParseError::DuplicateJobId {
+                line: loader.line,
+                job_id: spec.id.raw(),
+            });
         }
         self.previous_submit_secs = Some(submit_secs);
         self.rows_yielded += 1;
@@ -972,6 +1006,7 @@ pub struct TraceWriter<W: Write> {
     declared_jobs: Option<u64>,
     written: u64,
     previous_submit_secs: Option<f64>,
+    written_job_ids: std::collections::HashSet<u64>,
 }
 
 impl TraceWriter<BufWriter<File>> {
@@ -1021,6 +1056,7 @@ impl<W: Write> TraceWriter<W> {
             declared_jobs,
             written: 0,
             previous_submit_secs: None,
+            written_job_ids: std::collections::HashSet::new(),
         })
     }
 
@@ -1029,15 +1065,20 @@ impl<W: Write> TraceWriter<W> {
     /// # Errors
     ///
     /// [`TraceWriteError::InvalidSpec`] when the spec fails validation,
-    /// [`TraceWriteError::NonMonotonicSubmit`] when it is out of submission
-    /// order, [`TraceWriteError::InfiniteMean`] when its profile has
-    /// `β ≤ 1`, and [`TraceWriteError::Io`] on write failures.
+    /// [`TraceWriteError::DuplicateJobId`] when its id was already written
+    /// (the loader would reject the file), [`TraceWriteError::NonMonotonicSubmit`]
+    /// when it is out of submission order, [`TraceWriteError::InfiniteMean`]
+    /// when its profile has `β ≤ 1`, and [`TraceWriteError::Io`] on write
+    /// failures.
     pub fn write_job(&mut self, spec: &JobSpec) -> Result<(), TraceWriteError> {
         spec.validate()
             .map_err(|err| TraceWriteError::InvalidSpec {
                 job: spec.id.raw(),
                 message: err.to_string(),
             })?;
+        if self.written_job_ids.contains(&spec.id.raw()) {
+            return Err(TraceWriteError::DuplicateJobId { job: spec.id.raw() });
+        }
         let submit_secs = spec.submit_time.as_secs();
         if let Some(previous) = self.previous_submit_secs {
             if submit_secs < previous {
@@ -1079,6 +1120,7 @@ impl<W: Write> TraceWriter<W> {
             task_sizes,
         )?;
         self.previous_submit_secs = Some(submit_secs);
+        self.written_job_ids.insert(spec.id.raw());
         self.written += 1;
         Ok(())
     }
@@ -1354,6 +1396,62 @@ mod tests {
                 line: 4,
                 declared: 1
             }
+        );
+    }
+
+    #[test]
+    fn duplicate_job_id_names_the_second_occurrence() {
+        let text = format!("{HEADER}\n{CORE}\n7,0,1,0,60,120\n8,1,1,0,60,120\n7,2,1,0,60,120\n");
+        let err = load_str(&text).unwrap_err();
+        assert_eq!(err, TraceParseError::DuplicateJobId { line: 5, job_id: 7 });
+        assert_eq!(err.line(), 5);
+        let message = err.to_string();
+        assert!(message.contains("line 5"), "{message}");
+        assert!(message.contains("duplicate job_id 7"), "{message}");
+        assert!(message.contains("unique within the trace"), "{message}");
+    }
+
+    #[test]
+    fn duplicate_job_id_is_caught_across_chunk_boundaries() {
+        let text = format!("{HEADER}\n{CORE}\n7,0,1,0,60,120\n8,1,1,0,60,120\n7,2,1,0,60,120\n");
+        let mut stream = TraceLoader::from_reader(text.as_bytes())
+            .unwrap()
+            .stream(1)
+            .unwrap();
+        assert!(stream.next().unwrap().is_ok());
+        assert!(stream.next().unwrap().is_ok());
+        assert_eq!(
+            stream.next().unwrap().unwrap_err(),
+            TraceParseError::DuplicateJobId { line: 5, job_id: 7 }
+        );
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn writer_rejects_duplicate_job_ids() {
+        let a = JobSpec::new(JobId::new(7), SimTime::ZERO, 100.0, 2);
+        let b = JobSpec::new(JobId::new(7), SimTime::from_secs(1.0), 100.0, 2);
+        let mut writer = TraceWriter::new(Vec::new(), None).unwrap();
+        writer.write_job(&a).unwrap();
+        let err = writer.write_job(&b).unwrap_err();
+        assert_eq!(err, TraceWriteError::DuplicateJobId { job: 7 });
+        assert!(err.to_string().contains("duplicate job_id"), "{err}");
+        // The rejected row was not written: the declared count still holds.
+        assert_eq!(writer.written(), 1);
+    }
+
+    #[test]
+    fn header_only_trace_round_trips() {
+        let text = write_to_string(&[]);
+        let loaded = load_str(&text).unwrap();
+        assert!(loaded.is_empty());
+        assert_eq!(write_to_string(&loaded), text);
+        // The declared count of zero is enforced: any data row is trailing.
+        let with_row = format!("{text}0,0,1,0,60,120,1,1.5,20,\n");
+        let err = load_str(&with_row).unwrap_err();
+        assert!(
+            matches!(err, TraceParseError::TrailingRow { declared: 0, .. }),
+            "{err}"
         );
     }
 

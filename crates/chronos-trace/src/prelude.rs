@@ -2,6 +2,9 @@
 
 pub use crate::census::{CensusSummary, ProfileCensus};
 pub use crate::contention::{ContentionLevel, ContentionModel};
+pub use crate::convert::{
+    converter_for, ConvertError, ConvertSummary, GoogleClusterTraceConverter, TraceConverter,
+};
 pub use crate::google::{GoogleTraceConfig, GoogleTraceStream, SyntheticTrace};
 pub use crate::loader::{
     write_trace, TraceHeader, TraceLoader, TraceParseError, TraceStream, TraceWriteError,

@@ -68,9 +68,11 @@ pub mod prelude {
         PolicyPlanner, RestartPolicy, ResumePolicy, StrategyTiming, Timing,
     };
     pub use chronos_trace::prelude::{
-        write_trace, Benchmark, CensusSummary, ContentionLevel, ContentionModel, GoogleTraceConfig,
-        GoogleTraceStream, PriceModel, ProfileCensus, SyntheticTrace, TestbedWorkload, TraceHeader,
-        TraceLoader, TraceParseError, TraceStream, TraceWriteError, TraceWriter, WorkloadStream,
+        converter_for, write_trace, Benchmark, CensusSummary, ContentionLevel, ContentionModel,
+        ConvertError, ConvertSummary, GoogleClusterTraceConverter, GoogleTraceConfig,
+        GoogleTraceStream, PriceModel, ProfileCensus, SyntheticTrace, TestbedWorkload,
+        TraceConverter, TraceHeader, TraceLoader, TraceParseError, TraceStream, TraceWriteError,
+        TraceWriter, WorkloadStream,
     };
 }
 
@@ -88,6 +90,12 @@ mod tests {
         assert_eq!(policies.len(), 6);
         let benchmark = Benchmark::Sort;
         assert_eq!(benchmark.deadline_secs(), 100.0);
+        // The foreign-trace conversion layer is reachable too.
+        let converter = converter_for("google-2011").unwrap();
+        assert_eq!(
+            converter.format(),
+            GoogleClusterTraceConverter::new().format()
+        );
         // The planning layer is reachable through the facade too.
         let planner = Planner::new(UtilityModel::default());
         let plan = planner

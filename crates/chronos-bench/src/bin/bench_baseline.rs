@@ -9,7 +9,11 @@
 //!   across re-runs and worker counts on one host; snapshot drift is
 //!   reported loudly (same-host drift = behaviour change, re-record and
 //!   review) but tolerated, because a checker host with a different libm
-//!   can shift them legitimately;
+//!   can shift them legitimately. The event counters
+//!   (`events_dispatched` / `events_stale`) are the exception: they are
+//!   the denominator of every events/sec figure and the unit of the
+//!   `max_events` budget, so drift there is a **hard failure** in check
+//!   mode;
 //! * **timing** fields (wall milliseconds, events/second) — machine- and
 //!   load-dependent; check mode only prints the drift, it never fails on
 //!   timing (CI runners are far too noisy for that).
@@ -39,13 +43,21 @@ use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Job count: chosen to finish in about a second in release mode while
 /// still queueing on containers and launching speculative attempts. The
 /// workload shape itself is the shared `sharded_bench_*` definition, so
 /// these numbers stay comparable to the `throughput` Criterion bench.
 const JOBS: u32 = 20_000;
+
+/// Timing samples per configuration. The recorded wall clock is the
+/// *minimum* across samples — on a shared host the least-interrupted run
+/// is the best estimate of the code's intrinsic cost — while the
+/// deterministic output of every sample is asserted bit-identical, so the
+/// repetition tightens the determinism gate instead of loosening the
+/// numbers.
+const TIMING_SAMPLES: u32 = 7;
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct WorkloadMeta {
@@ -63,7 +75,12 @@ struct BaselineEntry {
     workers: u32,
     // -- deterministic fields --
     jobs: usize,
-    events_processed: u64,
+    /// Events dispatched to a handler: the engine's unit of work and the
+    /// denominator of `events_per_sec`. Drift is a hard check failure.
+    events_dispatched: u64,
+    /// Lazily-deleted stale pops (killed attempts' orphaned completions).
+    /// Excluded from throughput and budget; drift is a hard check failure.
+    events_stale: u64,
     total_attempts: u64,
     pocd: f64,
     // -- timing fields (informational) --
@@ -102,7 +119,7 @@ struct Baseline {
     plan_cache: PlanCacheEntry,
 }
 
-const SCHEMA_VERSION: u32 = 2;
+const SCHEMA_VERSION: u32 = 3;
 
 fn workload_meta() -> WorkloadMeta {
     WorkloadMeta {
@@ -114,27 +131,46 @@ fn workload_meta() -> WorkloadMeta {
     }
 }
 
+/// Runs `sample` `TIMING_SAMPLES` times, keeping the fastest wall clock
+/// and asserting every sample's report is bit-identical to the first
+/// (run-to-run determinism on one host is part of the contract).
+fn best_of(
+    what: &str,
+    sample: impl Fn() -> (Duration, SimulationReport),
+) -> (Duration, SimulationReport) {
+    let (mut best_wall, report) = sample();
+    for _ in 1..TIMING_SAMPLES {
+        let (wall, rerun) = sample();
+        assert_eq!(report, rerun, "run-to-run determinism violated for {what}");
+        best_wall = best_wall.min(wall);
+    }
+    (best_wall, report)
+}
+
 fn run_config(
     label: &str,
     workers: u32,
     build: &(dyn Fn() -> Box<dyn SpeculationPolicy> + Sync),
 ) -> (BaselineEntry, SimulationReport) {
-    let runner = ShardedRunner::new(sharded_bench_config(workers)).expect("valid config");
-    let start = Instant::now();
-    let report = runner
-        .run_chunked(sharded_bench_stream(JOBS), |_| build())
-        .expect("simulation completes");
-    let wall = start.elapsed();
+    let (wall, report) = best_of(&format!("{label}/workers-{workers}"), || {
+        let runner = ShardedRunner::new(sharded_bench_config(workers)).expect("valid config");
+        let start = Instant::now();
+        let report = runner
+            .run_chunked(sharded_bench_stream(JOBS), |_| build())
+            .expect("simulation completes");
+        (start.elapsed(), report)
+    });
     let wall_ms = wall.as_secs_f64() * 1_000.0;
     let entry = BaselineEntry {
         name: format!("{label}/workers-{workers}"),
         workers,
         jobs: report.job_count(),
-        events_processed: report.events_processed,
+        events_dispatched: report.events_dispatched,
+        events_stale: report.events_stale,
         total_attempts: report.total_attempts(),
         pocd: report.pocd(),
         wall_ms,
-        events_per_sec: report.events_processed as f64 / wall.as_secs_f64().max(1e-9),
+        events_per_sec: report.events_dispatched as f64 / wall.as_secs_f64().max(1e-9),
     };
     (entry, report)
 }
@@ -150,19 +186,22 @@ fn run_replay_config(workers: u32) -> (BaselineEntry, SimulationReport) {
     std::fs::create_dir_all(&dir).expect("create replay scratch dir");
     let path = dir.join("bench_baseline.trace");
     write_sharded_bench_trace(&path, JOBS).expect("write bench trace");
-    let start = Instant::now();
-    let report = replay_sharded_bench_trace(&path, JOBS, workers);
-    let wall = start.elapsed();
+    let (wall, report) = best_of(&format!("replay/workers-{workers}"), || {
+        let start = Instant::now();
+        let report = replay_sharded_bench_trace(&path, JOBS, workers);
+        (start.elapsed(), report)
+    });
     let _ = std::fs::remove_dir_all(dir);
     let entry = BaselineEntry {
         name: format!("replay/workers-{workers}"),
         workers,
         jobs: report.job_count(),
-        events_processed: report.events_processed,
+        events_dispatched: report.events_dispatched,
+        events_stale: report.events_stale,
         total_attempts: report.total_attempts(),
         pocd: report.pocd(),
         wall_ms: wall.as_secs_f64() * 1_000.0,
-        events_per_sec: report.events_processed as f64 / wall.as_secs_f64().max(1e-9),
+        events_per_sec: report.events_dispatched as f64 / wall.as_secs_f64().max(1e-9),
     };
     (entry, report)
 }
@@ -173,18 +212,36 @@ fn run_replay_config(workers: u32) -> (BaselineEntry, SimulationReport) {
 /// the cache must collapse the per-job optimizations to one solve; the
 /// merged report must be bit-identical to the uncached `reference` run.
 fn run_plan_cache_config(workers: u32, reference: &SimulationReport) -> PlanCacheEntry {
-    let cache = PlanCache::shared();
-    let runner = ShardedRunner::new(sharded_bench_config(workers)).expect("valid config");
-    let start = Instant::now();
-    let (report, stats) = runner
-        .run_chunked_planned(&cache, sharded_bench_stream(JOBS), |_, cache| {
-            Box::new(ResumePolicy::with_cache(
-                ChronosPolicyConfig::testbed(),
-                cache,
-            ))
-        })
-        .expect("simulation completes");
-    let wall = start.elapsed();
+    // A fresh cache per sample: re-running against a warm cache would turn
+    // every solve into a hit and corrupt the recorded miss count.
+    let sample = || {
+        let cache = PlanCache::shared();
+        let runner = ShardedRunner::new(sharded_bench_config(workers)).expect("valid config");
+        let start = Instant::now();
+        let (report, stats) = runner
+            .run_chunked_planned(&cache, sharded_bench_stream(JOBS), |_, cache| {
+                Box::new(ResumePolicy::with_cache(
+                    ChronosPolicyConfig::testbed(),
+                    cache,
+                ))
+            })
+            .expect("simulation completes");
+        (start.elapsed(), report, stats)
+    };
+    let (mut wall, report, stats) = sample();
+    for _ in 1..TIMING_SAMPLES {
+        let (rerun_wall, rerun_report, rerun_stats) = sample();
+        assert_eq!(
+            report, rerun_report,
+            "run-to-run determinism violated for plan-cache/workers-{workers}"
+        );
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (rerun_stats.hits, rerun_stats.misses),
+            "run-to-run cache-counter drift for plan-cache/workers-{workers}"
+        );
+        wall = wall.min(rerun_wall);
+    }
     assert_eq!(
         &report, reference,
         "planner determinism violated: the planner-backed replay differs from the uncached run"
@@ -203,7 +260,7 @@ fn run_plan_cache_config(workers: u32, reference: &SimulationReport) -> PlanCach
         hit_rate: stats.hit_rate(),
         report_digest: report_digest(&report),
         wall_ms: wall.as_secs_f64() * 1_000.0,
-        events_per_sec: report.events_processed as f64 / wall.as_secs_f64().max(1e-9),
+        events_per_sec: report.events_dispatched as f64 / wall.as_secs_f64().max(1e-9),
     }
 }
 
@@ -331,21 +388,36 @@ fn check(current: &Baseline) -> Result<(), String> {
         // sample differently than the recorder's can legitimately shift
         // these fields without any code change. Gating CI on a cross-host
         // float comparison would make the job flaky, not safer.
+        // The event counters are the exception to the tolerate-drift rule:
+        // they are the denominator of every events/sec figure and the unit
+        // of the `max_events` budget, so silently shifting them would make
+        // every future perf comparison lie. Drift here fails the check.
+        if stored.events_dispatched != current.events_dispatched
+            || stored.events_stale != current.events_stale
+        {
+            return Err(format!(
+                "{}: event accounting drifted: stored dispatched={} stale={}, \
+                 current dispatched={} stale={}; the engine's event accounting \
+                 changed — review the change, then re-record",
+                stored.name,
+                stored.events_dispatched,
+                stored.events_stale,
+                current.events_dispatched,
+                current.events_stale,
+            ));
+        }
         let deterministic_match = stored.jobs == current.jobs
-            && stored.events_processed == current.events_processed
             && stored.total_attempts == current.total_attempts
             && stored.pocd.to_bits() == current.pocd.to_bits();
         if !deterministic_match {
             drifted += 1;
             println!(
-                "  {}: snapshot drift\n    stored:  jobs={} events={} attempts={} pocd={}\n    current: jobs={} events={} attempts={} pocd={}\n    same-host drift means behaviour changed — re-record the baseline and\n    review the diff; cross-host drift (different libm) is expected noise.",
+                "  {}: snapshot drift\n    stored:  jobs={} attempts={} pocd={}\n    current: jobs={} attempts={} pocd={}\n    same-host drift means behaviour changed — re-record the baseline and\n    review the diff; cross-host drift (different libm) is expected noise.",
                 stored.name,
                 stored.jobs,
-                stored.events_processed,
                 stored.total_attempts,
                 stored.pocd,
                 current.jobs,
-                current.events_processed,
                 current.total_attempts,
                 current.pocd,
             );

@@ -146,9 +146,10 @@ fn write_report(report: &SimulationReport, out: Option<&Path>) -> Result<(), Str
             std::fs::write(path, json + "\n")
                 .map_err(|err| format!("writing {}: {err}", path.display()))?;
             println!(
-                "replayed {} jobs ({} events) -> {}",
+                "replayed {} jobs ({} events dispatched, {} stale) -> {}",
                 report.job_count(),
-                report.events_processed,
+                report.events_dispatched,
+                report.events_stale,
                 path.display()
             );
         }

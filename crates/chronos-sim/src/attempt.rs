@@ -51,6 +51,10 @@ pub struct Attempt {
     pub work_duration_secs: f64,
     /// When the attempt stopped running (finished or killed).
     pub ended_at: Option<SimTime>,
+    /// Next attempt of the same task in creation order — the intrusive
+    /// sibling chain headed by
+    /// [`TaskRuntime::first_attempt`](crate::job::TaskRuntime::first_attempt).
+    pub next_sibling: Option<AttemptId>,
 }
 
 impl Attempt {
@@ -75,6 +79,7 @@ impl Attempt {
             jvm_delay_secs: 0.0,
             work_duration_secs: 0.0,
             ended_at: None,
+            next_sibling: None,
         }
     }
 

@@ -36,11 +36,39 @@ impl Node {
 
 /// The ResourceManager: tracks slot occupancy and the queue of attempts
 /// waiting for a container.
+///
+/// Placement must stay O(1): the engine consults the RM once per container
+/// request and once per release in the event hot loop. Instead of scanning
+/// all nodes for the most-free one, the RM keeps a *count-bucket index* —
+/// one bitmap of node indices per possible free-slot count — plus the
+/// current maximum count and a running free-slot total. `try_assign` picks
+/// the **highest-index** node in the top bucket, which reproduces the
+/// previous `max_by_key(free_slots)` scan exactly (`max_by_key` returns the
+/// last of equally-maximal elements), so placements — and therefore the
+/// straggler patterns on slowed nodes — are bit-identical to the old code.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceManager {
     nodes: Vec<Node>,
     pending: VecDeque<AttemptId>,
     total_slots: u64,
+    /// Running count of free slots across all nodes.
+    free_total: u64,
+    /// `free_index[c]` is a bitmap (64 node indices per word) of the nodes
+    /// with exactly `c` free slots.
+    free_index: Vec<Vec<u64>>,
+    /// Highest `c ≥ 1` with a non-empty `free_index[c]`; 0 when the cluster
+    /// is full.
+    max_free: u32,
+}
+
+#[inline]
+fn set_bit(words: &mut [u64], idx: usize) {
+    words[idx / 64] |= 1 << (idx % 64);
+}
+
+#[inline]
+fn clear_bit(words: &mut [u64], idx: usize) {
+    words[idx / 64] &= !(1 << (idx % 64));
 }
 
 impl ResourceManager {
@@ -51,7 +79,7 @@ impl ResourceManager {
     /// Returns [`SimError::InvalidConfig`] if the specification is invalid.
     pub fn new(spec: &ClusterSpec) -> Result<Self, SimError> {
         spec.validate()?;
-        let nodes = (0..spec.nodes)
+        let nodes: Vec<Node> = (0..spec.nodes)
             .map(|i| Node {
                 id: NodeId::new(u64::from(i)),
                 slots: spec.slots_per_node,
@@ -59,10 +87,18 @@ impl ResourceManager {
                 slowdown: spec.slowdown_of(i),
             })
             .collect();
+        let words = nodes.len().div_ceil(64);
+        let mut free_index = vec![vec![0u64; words]; spec.slots_per_node as usize + 1];
+        for i in 0..nodes.len() {
+            set_bit(&mut free_index[spec.slots_per_node as usize], i);
+        }
         Ok(ResourceManager {
             nodes,
             pending: VecDeque::new(),
             total_slots: spec.total_slots(),
+            free_total: spec.total_slots(),
+            free_index,
+            max_free: spec.slots_per_node,
         })
     }
 
@@ -75,7 +111,7 @@ impl ResourceManager {
     /// Number of currently free container slots.
     #[must_use]
     pub fn free_slots(&self) -> u64 {
-        self.nodes.iter().map(|n| u64::from(n.free_slots())).sum()
+        self.free_total
     }
 
     /// Number of attempts waiting for a container.
@@ -105,15 +141,34 @@ impl ResourceManager {
     /// Tries to grab a free slot, preferring the node with the most free
     /// capacity (a simple load-balancing placement). Returns the chosen node
     /// or `None` when the cluster is full.
+    ///
+    /// Among equally-free nodes the highest node index wins — the same
+    /// choice the former linear `max_by_key` scan made (see the struct
+    /// docs), now found in O(1) through the count-bucket index.
     pub fn try_assign(&mut self) -> Option<NodeId> {
-        let best = self
-            .nodes
+        if self.free_total == 0 {
+            return None;
+        }
+        let count = self.max_free as usize;
+        debug_assert!(count > 0, "free_total > 0 implies a non-empty top bucket");
+        let (word, bits) = self.free_index[count]
             .iter()
             .enumerate()
-            .filter(|(_, n)| n.free_slots() > 0)
-            .max_by_key(|(_, n)| n.free_slots())
-            .map(|(i, _)| i)?;
+            .rev()
+            .find(|(_, bits)| **bits != 0)
+            .expect("max_free bucket is non-empty");
+        let best = word * 64 + (63 - bits.leading_zeros() as usize);
+        clear_bit(&mut self.free_index[count], best);
+        set_bit(&mut self.free_index[count - 1], best);
         self.nodes[best].busy += 1;
+        self.free_total -= 1;
+        while self.max_free > 0
+            && self.free_index[self.max_free as usize]
+                .iter()
+                .all(|bits| *bits == 0)
+        {
+            self.max_free -= 1;
+        }
         Some(self.nodes[best].id)
     }
 
@@ -125,9 +180,10 @@ impl ResourceManager {
     /// [`SimError::InvalidAction`] if the node has no busy slot to release
     /// (which would indicate an engine accounting bug).
     pub fn release(&mut self, node: NodeId) -> Result<(), SimError> {
+        let idx = node.raw() as usize;
         let entry = self
             .nodes
-            .get_mut(node.raw() as usize)
+            .get_mut(idx)
             .ok_or_else(|| SimError::unknown(format!("{node}")))?;
         if entry.busy == 0 {
             return Err(SimError::invalid_action(format!(
@@ -135,6 +191,11 @@ impl ResourceManager {
             )));
         }
         entry.busy -= 1;
+        let now_free = entry.free_slots() as usize;
+        clear_bit(&mut self.free_index[now_free - 1], idx);
+        set_bit(&mut self.free_index[now_free], idx);
+        self.free_total += 1;
+        self.max_free = self.max_free.max(now_free as u32);
         Ok(())
     }
 
@@ -233,6 +294,44 @@ mod tests {
         assert_eq!(rm.dequeue_pending(), Some(AttemptId::new(1)));
         assert_eq!(rm.dequeue_pending(), Some(AttemptId::new(3)));
         assert_eq!(rm.dequeue_pending(), None);
+    }
+
+    #[test]
+    fn indexed_assignment_matches_linear_scan_reference() {
+        // The count-bucket index must reproduce the old
+        // `max_by_key(free_slots)` scan (last max wins) placement-for-
+        // placement under arbitrary assign/release interleavings.
+        let mut rm = rm(7, 3);
+        let mut reference: Vec<u32> = vec![3; 7]; // free slots per node
+        let mut running: Vec<u64> = Vec::new();
+        // A fixed pseudo-random interleaving (splitmix-style) of assigns
+        // and releases.
+        let mut state = 0x0123_4567_89AB_CDEF_u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..2_000 {
+            if next() % 3 != 0 || running.is_empty() {
+                let expected = reference
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, f)| **f > 0)
+                    .max_by_key(|(_, f)| **f)
+                    .map(|(i, _)| i as u64);
+                let got = rm.try_assign().map(|n| n.raw());
+                assert_eq!(got, expected);
+                if let Some(node) = got {
+                    reference[node as usize] -= 1;
+                    running.push(node);
+                }
+            } else {
+                let node = running.swap_remove((next() % running.len() as u64) as usize);
+                rm.release(NodeId::new(node)).unwrap();
+                reference[node as usize] += 1;
+            }
+            assert_eq!(rm.free_slots(), u64::from(reference.iter().sum::<u32>()));
+        }
     }
 
     #[test]

@@ -5,23 +5,113 @@
 //! The engine owns jobs, tasks, attempts, containers and the event queue;
 //! the plugged-in [`SpeculationPolicy`] only ever sees immutable snapshots
 //! and replies with actions. A fixed RNG seed makes every run reproducible.
+//!
+//! # Hot-loop layout (struct-of-arrays)
+//!
+//! Event dispatch is allocation-free. All runtime state lives in dense
+//! slabs indexed by raw id:
+//!
+//! * `tasks` and `attempts` are `Vec`s whose index **is** the raw
+//!   [`TaskId`] / [`AttemptId`] — the engine allocates ids by slab length,
+//!   so an event's id resolves to its state in one bounds-checked index,
+//!   with no tree walk and no hashing.
+//! * `jobs` is a `Vec` in submission order; caller-chosen job ids resolve
+//!   through a `job_slots` hash map (fast multiply-xor hasher — ids are
+//!   engine-trusted) once per job-scoped operation. `task_job_slot` maps a
+//!   task index straight to its job slot.
+//! * A job's tasks form one contiguous id block
+//!   ([`JobRuntime::task_range`]); a task's attempts form an intrusive
+//!   sibling chain through [`Attempt::next_sibling`], so neither needs a
+//!   per-entity `Vec`.
+//! * Per-job policy bookkeeping (`chosen_r`, the periodic-check period) are
+//!   parallel arrays over job slots. `task_hot` flattens each task's
+//!   sampling parameters (Pareto `t_min`, precomputed `1/β`, size factor)
+//!   next to its index so starting an attempt — the single hottest
+//!   operation — never chases the attempt → task → job pointer chain. [`JobView`] snapshots are built from
+//!   pooled scratch buffers that are reclaimed after each
+//!   [`SpeculationPolicy::on_check`] call.
+//!
+//! # Event accounting and lazy deletion
+//!
+//! Killing a running attempt does not remove its completion event; the pop
+//! finds the attempt no longer `Running` and ignores it (the lazy-deletion
+//! contract described in [`crate::event`]). Such pops advance simulated
+//! time but are counted as `events_stale`, **not** `events_dispatched`:
+//! only dispatched events represent simulation work, feed the events/sec
+//! metrics, and count against the `max_events` budget (see
+//! [`SimError::EventBudgetExhausted`]).
+//!
+//! # Submit memoization
+//!
+//! Policies that declare [`SpeculationPolicy::submit_is_profile_pure`] get
+//! their submit-time planning deduplicated *inside the engine*: jobs
+//! sharing a profile (task count, deadline, price, distribution — the
+//! chronos-plan `ProfileKey` idea applied at simulation time) are planned
+//! once, and later arrivals replay the memoized decision through
+//! [`SpeculationPolicy::on_job_submit_replayed`].
 
 use crate::attempt::{Attempt, AttemptState};
 use crate::cluster::ResourceManager;
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
-use crate::ids::{AttemptId, IdAllocator, JobId, NodeId, TaskId};
+use crate::ids::{AttemptId, FastIdHash, JobId, NodeId, TaskId};
 use crate::job::{JobRuntime, JobSpec, TaskRuntime};
 use crate::metrics::{JobMetrics, LatencyHistogram, SimulationReport};
 use crate::policy::{
-    AttemptView, CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy, TaskView,
+    AttemptView, CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy,
+    SubmitDecision, TaskView,
 };
 use crate::progress::{estimate_completion, estimate_resume_offset};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+
+/// The submit-relevant fields of a [`JobSubmitView`] — everything except
+/// the job id — with floats keyed by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    task_count: u32,
+    deadline_bits: u64,
+    price_bits: u64,
+    t_min_bits: u64,
+    beta_bits: u64,
+}
+
+impl ProfileKey {
+    fn of(view: &JobSubmitView) -> Self {
+        ProfileKey {
+            task_count: view.task_count,
+            deadline_bits: view.deadline_secs.to_bits(),
+            price_bits: view.price.to_bits(),
+            t_min_bits: view.profile.t_min().to_bits(),
+            beta_bits: view.profile.beta().to_bits(),
+        }
+    }
+}
+
+/// A memoized [`CheckSchedule`], with `AtOffsets` interned into the shared
+/// `memo_offsets` arena so cache hits stay allocation-free.
+#[derive(Debug, Clone, Copy)]
+enum ScheduleKind {
+    Never,
+    Offsets { start: u32, len: u32 },
+    Periodic { first: f64, period: f64 },
+}
+
+/// Per-task data for [`Simulation::start_attempt`], flattened at task
+/// creation: the owning job's Pareto parameters (with `1/β` precomputed —
+/// the same division the former `Pareto::sample` call performed, done once
+/// per job instead of once per attempt) and the task's size factor.
+/// Work samples computed from this slot are bit-identical to
+/// `job.spec.profile.sample(rng) * task.size_factor`.
+#[derive(Debug, Clone, Copy)]
+struct TaskHot {
+    t_min: f64,
+    inv_beta: f64,
+    size_factor: f64,
+}
 
 /// A complete simulation: configuration, cluster state, workload and policy.
 ///
@@ -43,18 +133,39 @@ use std::collections::BTreeMap;
 pub struct Simulation {
     config: SimConfig,
     policy: Box<dyn SpeculationPolicy>,
+    policy_name: String,
     rng: StdRng,
     events: EventQueue,
-    jobs: BTreeMap<JobId, JobRuntime>,
-    tasks: BTreeMap<TaskId, TaskRuntime>,
-    attempts: BTreeMap<AttemptId, Attempt>,
-    schedules: BTreeMap<JobId, CheckSchedule>,
-    chosen_r: BTreeMap<JobId, u32>,
+    /// Jobs in submission order; `job_slots` maps raw job id → slot.
+    jobs: Vec<JobRuntime>,
+    job_slots: HashMap<u64, u32, FastIdHash>,
+    /// Dense slab indexed by raw [`TaskId`].
+    tasks: Vec<TaskRuntime>,
+    /// Parallel to `tasks`: the owning job's slot.
+    task_job_slot: Vec<u32>,
+    /// Parallel to `tasks`: everything [`Simulation::start_attempt`] needs
+    /// to price a work sample, pre-flattened so the hottest path reads one
+    /// small slot instead of chasing attempt → task → job pointers.
+    task_hot: Vec<TaskHot>,
+    /// Dense slab indexed by raw [`AttemptId`].
+    attempts: Vec<Attempt>,
+    /// Per job slot: the `r` the policy reported at submission.
+    chosen_r: Vec<Option<u32>>,
+    /// Per job slot: the period of a [`CheckSchedule::Periodic`], for
+    /// re-arming checks while the job runs.
+    job_period: Vec<Option<f64>>,
     rm: ResourceManager,
-    task_ids: IdAllocator,
-    attempt_ids: IdAllocator,
     now: SimTime,
-    events_processed: u64,
+    events_dispatched: u64,
+    events_stale: u64,
+    /// Submit memoization (see the module docs); enabled iff the policy
+    /// declared itself profile-pure at construction.
+    memo_enabled: bool,
+    memo: HashMap<ProfileKey, (SubmitDecision, ScheduleKind), FastIdHash>,
+    memo_offsets: Vec<f64>,
+    /// Pooled scratch for [`JobView`] snapshots.
+    view_tasks_scratch: Vec<TaskView>,
+    attempt_vec_pool: Vec<Vec<AttemptView>>,
 }
 
 impl Simulation {
@@ -68,28 +179,39 @@ impl Simulation {
         config.validate()?;
         let rm = ResourceManager::new(&config.cluster)?;
         let rng = StdRng::seed_from_u64(config.seed);
+        let policy_name = policy.name();
+        let memo_enabled = policy.submit_is_profile_pure();
         Ok(Simulation {
             config,
             policy,
+            policy_name,
             rng,
             events: EventQueue::new(),
-            jobs: BTreeMap::new(),
-            tasks: BTreeMap::new(),
-            attempts: BTreeMap::new(),
-            schedules: BTreeMap::new(),
-            chosen_r: BTreeMap::new(),
+            jobs: Vec::new(),
+            job_slots: HashMap::with_hasher(FastIdHash),
+            tasks: Vec::new(),
+            task_job_slot: Vec::new(),
+            task_hot: Vec::new(),
+            attempts: Vec::new(),
+            chosen_r: Vec::new(),
+            job_period: Vec::new(),
             rm,
-            task_ids: IdAllocator::new(),
-            attempt_ids: IdAllocator::new(),
             now: SimTime::ZERO,
-            events_processed: 0,
+            events_dispatched: 0,
+            events_stale: 0,
+            memo_enabled,
+            memo: HashMap::with_hasher(FastIdHash),
+            memo_offsets: Vec::new(),
+            view_tasks_scratch: Vec::new(),
+            attempt_vec_pool: Vec::new(),
         })
     }
 
-    /// The policy driving this simulation.
+    /// The name of the policy driving this simulation (cached at
+    /// construction; no per-call allocation).
     #[must_use]
-    pub fn policy_name(&self) -> String {
-        self.policy.name()
+    pub fn policy_name(&self) -> &str {
+        &self.policy_name
     }
 
     /// The current simulated time.
@@ -106,15 +228,23 @@ impl Simulation {
     /// job ids.
     pub fn submit(&mut self, spec: JobSpec) -> Result<(), SimError> {
         spec.validate()?;
-        if self.jobs.contains_key(&spec.id) {
-            return Err(SimError::invalid_config(format!(
-                "duplicate job id {}",
-                spec.id
-            )));
+        let slot = self.jobs.len() as u32;
+        match self.job_slots.entry(spec.id.raw()) {
+            std::collections::hash_map::Entry::Occupied(_) => {
+                return Err(SimError::invalid_config(format!(
+                    "duplicate job id {}",
+                    spec.id
+                )));
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(slot);
+            }
         }
         let id = spec.id;
         let submit_time = spec.submit_time;
-        self.jobs.insert(id, JobRuntime::new(spec));
+        self.jobs.push(JobRuntime::new(spec));
+        self.chosen_r.push(None);
+        self.job_period.push(None);
         self.events.schedule(submit_time, Event::JobArrival(id));
         Ok(())
     }
@@ -135,14 +265,29 @@ impl Simulation {
     where
         I: IntoIterator<Item = JobSpec>,
     {
-        let mut views = Vec::new();
-        for (index, spec) in specs.into_iter().enumerate() {
+        let specs = specs.into_iter();
+        let (min_jobs, _) = specs.size_hint();
+        self.jobs.reserve(min_jobs);
+        self.job_slots.reserve(min_jobs);
+        self.chosen_r.reserve(min_jobs);
+        self.job_period.reserve(min_jobs);
+        let mut views = Vec::with_capacity(min_jobs);
+        let mut total_tasks = 0usize;
+        for (index, spec) in specs.enumerate() {
             let id = spec.id;
+            total_tasks += spec.task_count();
             let view = Self::submit_view_of(&spec);
             self.submit(spec)
                 .map_err(|err| err.with_context(format_args!("batch spec #{index} ({id})")))?;
             views.push(view);
         }
+        // One task slot and (at least) one attempt slot per task will be
+        // claimed as the arrivals dispatch; reserving here keeps the SoA
+        // pushes in the hot loop from ever reallocating mid-run.
+        self.tasks.reserve(total_tasks);
+        self.task_job_slot.reserve(total_tasks);
+        self.task_hot.reserve(total_tasks);
+        self.attempts.reserve(total_tasks);
         self.policy
             .on_job_batch(&views)
             .map_err(|err| err.with_context(format_args!("planning a {}-job batch", views.len())))
@@ -164,15 +309,26 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// * [`SimError::EventBudgetExhausted`] when `max_events` is hit.
+    /// * [`SimError::EventBudgetExhausted`] when more than `max_events`
+    ///   events are *dispatched* (stale lazily-deleted completions advance
+    ///   time but do not consume budget).
     /// * [`SimError::InvalidAction`] / [`SimError::UnknownEntity`] when the
     ///   policy produces actions referencing foreign or unknown entities.
     pub fn run(&mut self) -> Result<SimulationReport, SimError> {
         while let Some((time, event)) = self.events.pop() {
             debug_assert!(time >= self.now, "event time went backwards");
             self.now = time;
-            self.events_processed += 1;
-            if self.config.max_events > 0 && self.events_processed > self.config.max_events {
+            if let Event::AttemptCompletion(attempt) = event {
+                if self.attempts[attempt.raw() as usize].state != AttemptState::Running {
+                    // Lazily-deleted completion: the attempt was killed (or
+                    // finished through a sibling) after this event was
+                    // scheduled. Time has advanced, but no work happens.
+                    self.events_stale += 1;
+                    continue;
+                }
+            }
+            self.events_dispatched += 1;
+            if self.config.max_events > 0 && self.events_dispatched > self.config.max_events {
                 return Err(SimError::EventBudgetExhausted {
                     limit: self.config.max_events,
                 });
@@ -191,40 +347,55 @@ impl Simulation {
     // ------------------------------------------------------------------
 
     fn handle_job_arrival(&mut self, job_id: JobId) -> Result<(), SimError> {
-        let (submit_view, task_specs, submit_time) = {
-            let job = self
-                .jobs
-                .get(&job_id)
-                .ok_or_else(|| SimError::unknown(format!("{job_id}")))?;
+        let slot = *self
+            .job_slots
+            .get(&job_id.raw())
+            .ok_or_else(|| SimError::unknown(format!("{job_id}")))?;
+        let (submit_view, submit_time, task_count) = {
+            let job = &self.jobs[slot as usize];
             (
                 Self::submit_view_of(&job.spec),
-                job.spec.tasks.clone(),
                 job.spec.submit_time,
+                job.spec.task_count(),
             )
         };
 
-        let decision = self.policy.on_job_submit(&submit_view);
+        let (decision, schedule) = if self.memo_enabled {
+            let key = ProfileKey::of(&submit_view);
+            if let Some(&(decision, schedule)) = self.memo.get(&key) {
+                self.policy.on_job_submit_replayed(&submit_view, decision);
+                (decision, schedule)
+            } else {
+                let decision = self.policy.on_job_submit(&submit_view);
+                let schedule = self.intern_schedule(self.policy.check_schedule(&submit_view));
+                self.memo.insert(key, (decision, schedule));
+                (decision, schedule)
+            }
+        } else {
+            let decision = self.policy.on_job_submit(&submit_view);
+            let schedule = self.intern_schedule(self.policy.check_schedule(&submit_view));
+            (decision, schedule)
+        };
+
         if let Some(r) = decision.reported_r {
-            self.chosen_r.insert(job_id, r);
+            self.chosen_r[slot as usize] = Some(r);
         }
 
-        let schedule = self.policy.check_schedule(&submit_view);
-        match &schedule {
-            CheckSchedule::Never => {}
-            CheckSchedule::AtOffsets(offsets) => {
-                for (index, offset) in offsets.iter().enumerate() {
+        match schedule {
+            ScheduleKind::Never => {}
+            ScheduleKind::Offsets { start, len } => {
+                for index in 0..len {
+                    let offset = self.memo_offsets[(start + index) as usize];
                     self.events.schedule(
-                        submit_time + SimDuration::from_secs(*offset),
-                        Event::PolicyCheck {
-                            job: job_id,
-                            index: index as u32,
-                        },
+                        submit_time + SimDuration::from_secs(offset),
+                        Event::PolicyCheck { job: job_id, index },
                     );
                 }
             }
-            CheckSchedule::Periodic { first, .. } => {
+            ScheduleKind::Periodic { first, period } => {
+                self.job_period[slot as usize] = Some(period);
                 self.events.schedule(
-                    submit_time + SimDuration::from_secs(*first),
+                    submit_time + SimDuration::from_secs(first),
                     Event::PolicyCheck {
                         job: job_id,
                         index: 0,
@@ -232,35 +403,66 @@ impl Simulation {
                 );
             }
         }
-        self.schedules.insert(job_id, schedule);
 
-        // Create tasks and their initial attempts (1 original + clones).
-        for (index, spec) in task_specs.iter().enumerate() {
-            let task_id = TaskId::new(self.task_ids.next_raw());
-            let task = TaskRuntime::new(task_id, job_id, index, spec);
-            self.tasks.insert(task_id, task);
-            self.jobs
-                .get_mut(&job_id)
-                .expect("job exists")
-                .task_ids
-                .push(task_id);
+        // Create the job's contiguous task block and the initial attempts
+        // (1 original + clones). When no attempt is waiting for a container
+        // the wait queue is provably empty of older work, so a free
+        // container can be claimed immediately — same start order and RNG
+        // draw order as the enqueue → dispatch round trip, minus the queue
+        // traffic.
+        self.jobs[slot as usize].first_task = Some(TaskId::new(self.tasks.len() as u64));
+        let profile = self.jobs[slot as usize].spec.profile;
+        let hot = TaskHot {
+            t_min: profile.t_min(),
+            inv_beta: 1.0 / profile.beta(),
+            size_factor: 1.0,
+        };
+        for index in 0..task_count {
+            let task_id = TaskId::new(self.tasks.len() as u64);
+            let spec = self.jobs[slot as usize].spec.tasks[index];
+            self.tasks.push(TaskRuntime::new(task_id, job_id, &spec));
+            self.task_job_slot.push(slot);
+            self.task_hot.push(TaskHot {
+                size_factor: self.tasks[task_id.raw() as usize].size_factor,
+                ..hot
+            });
             for _ in 0..=decision.extra_clones_per_task {
-                self.create_attempt(task_id, 0.0)?;
+                let attempt_id = self.create_attempt_unqueued(task_id, 0.0)?;
+                if !self.rm.has_waiting_work() {
+                    if let Some(node) = self.rm.try_assign() {
+                        self.start_attempt(attempt_id, node);
+                        continue;
+                    }
+                }
+                self.rm.enqueue_pending(attempt_id);
             }
         }
         self.dispatch_pending();
         Ok(())
     }
 
+    /// Interns a schedule into the memoizable representation, moving
+    /// `AtOffsets` payloads into the shared offset arena.
+    fn intern_schedule(&mut self, schedule: CheckSchedule) -> ScheduleKind {
+        match schedule {
+            CheckSchedule::Never => ScheduleKind::Never,
+            CheckSchedule::AtOffsets(offsets) => {
+                let start = self.memo_offsets.len() as u32;
+                self.memo_offsets.extend_from_slice(&offsets);
+                ScheduleKind::Offsets {
+                    start,
+                    len: offsets.len() as u32,
+                }
+            }
+            CheckSchedule::Periodic { first, period } => ScheduleKind::Periodic { first, period },
+        }
+    }
+
     fn handle_attempt_completion(&mut self, attempt_id: AttemptId) -> Result<(), SimError> {
         let (task_id, node) = {
-            let Some(attempt) = self.attempts.get_mut(&attempt_id) else {
-                return Ok(());
-            };
-            if attempt.state != AttemptState::Running {
-                // Stale event: the attempt was killed in the meantime.
-                return Ok(());
-            }
+            let attempt = &mut self.attempts[attempt_id.raw() as usize];
+            // Stale completions were filtered out by the run loop.
+            debug_assert_eq!(attempt.state, AttemptState::Running);
             attempt.state = AttemptState::Finished;
             attempt.ended_at = Some(self.now);
             (attempt.task, attempt.node)
@@ -269,49 +471,33 @@ impl Simulation {
             self.rm.release(node)?;
         }
 
-        let newly_completed = {
-            let task = self
-                .tasks
-                .get_mut(&task_id)
-                .ok_or_else(|| SimError::unknown(format!("{task_id}")))?;
-            if task.completed_at.is_none() {
-                task.completed_at = Some(self.now);
-                true
-            } else {
-                false
-            }
-        };
-
-        if newly_completed {
+        let task_idx = task_id.raw() as usize;
+        if self.tasks[task_idx].completed_at.is_none() {
+            self.tasks[task_idx].completed_at = Some(self.now);
             // The AM kills the remaining attempts of a committed task.
-            let siblings: Vec<AttemptId> = self
-                .tasks
-                .get(&task_id)
-                .map(|t| t.attempts.clone())
-                .unwrap_or_default();
-            for sibling in siblings {
+            let mut cursor = self.tasks[task_idx].first_attempt;
+            while let Some(sibling) = cursor {
+                cursor = self.attempts[sibling.raw() as usize].next_sibling;
                 if sibling != attempt_id {
                     self.kill_attempt(sibling)?;
                 }
             }
-            let job_id = self.tasks[&task_id].job;
-            if let Some(job) = self.jobs.get_mut(&job_id) {
-                job.record_task_completion(self.now);
-            }
+            let slot = self.task_job_slot[task_idx] as usize;
+            self.jobs[slot].record_task_completion(self.now);
         }
         self.dispatch_pending();
         Ok(())
     }
 
     fn handle_policy_check(&mut self, job_id: JobId, index: u32) -> Result<(), SimError> {
-        let completed = self
-            .jobs
-            .get(&job_id)
-            .map(JobRuntime::is_completed)
-            .unwrap_or(true);
-        if !completed {
-            let view = self.build_job_view(job_id, index)?;
+        let Some(&slot) = self.job_slots.get(&job_id.raw()) else {
+            return Ok(());
+        };
+        let slot = slot as usize;
+        if !self.jobs[slot].is_completed() {
+            let view = self.build_job_view(job_id, slot, index);
             let actions = self.policy.on_check(&view);
+            self.reclaim_view(view);
             for action in actions {
                 self.apply_action(job_id, action)?;
             }
@@ -319,14 +505,8 @@ impl Simulation {
         }
 
         // Periodic schedules re-arm while the job is incomplete.
-        if let Some(CheckSchedule::Periodic { period, .. }) = self.schedules.get(&job_id) {
-            let period = *period;
-            let still_running = self
-                .jobs
-                .get(&job_id)
-                .map(|j| !j.is_completed())
-                .unwrap_or(false);
-            if still_running {
+        if let Some(period) = self.job_period[slot] {
+            if !self.jobs[slot].is_completed() {
                 self.events.schedule(
                     self.now + SimDuration::from_secs(period),
                     Event::PolicyCheck {
@@ -352,7 +532,7 @@ impl Simulation {
             } => {
                 let owner = self
                     .tasks
-                    .get(&task)
+                    .get(task.raw() as usize)
                     .ok_or_else(|| SimError::unknown(format!("{task}")))?;
                 if owner.job != job_id {
                     return Err(SimError::invalid_action(format!(
@@ -372,7 +552,7 @@ impl Simulation {
             PolicyAction::Kill { attempt } => {
                 let owner = self
                     .attempts
-                    .get(&attempt)
+                    .get(attempt.raw() as usize)
                     .ok_or_else(|| SimError::unknown(format!("{attempt}")))?
                     .job;
                 if owner != job_id {
@@ -385,7 +565,7 @@ impl Simulation {
             PolicyAction::KillAllExcept { task, keep } => {
                 let owner = self
                     .tasks
-                    .get(&task)
+                    .get(task.raw() as usize)
                     .ok_or_else(|| SimError::unknown(format!("{task}")))?;
                 if owner.job != job_id {
                     return Err(SimError::invalid_action(format!(
@@ -393,8 +573,9 @@ impl Simulation {
                         owner.job
                     )));
                 }
-                let attempts = owner.attempts.clone();
-                for attempt in attempts {
+                let mut cursor = owner.first_attempt;
+                while let Some(attempt) = cursor {
+                    cursor = self.attempts[attempt.raw() as usize].next_sibling;
                     if attempt != keep {
                         self.kill_attempt(attempt)?;
                     }
@@ -413,20 +594,38 @@ impl Simulation {
         task_id: TaskId,
         start_fraction: f64,
     ) -> Result<AttemptId, SimError> {
+        let attempt_id = self.create_attempt_unqueued(task_id, start_fraction)?;
+        self.rm.enqueue_pending(attempt_id);
+        Ok(attempt_id)
+    }
+
+    /// [`Simulation::create_attempt`] without the wait-queue insertion; the
+    /// caller must either enqueue the attempt or start it directly.
+    fn create_attempt_unqueued(
+        &mut self,
+        task_id: TaskId,
+        start_fraction: f64,
+    ) -> Result<AttemptId, SimError> {
+        let task_idx = task_id.raw() as usize;
         let job_id = self
             .tasks
-            .get(&task_id)
+            .get(task_idx)
             .ok_or_else(|| SimError::unknown(format!("{task_id}")))?
             .job;
-        let attempt_id = AttemptId::new(self.attempt_ids.next_raw());
-        let attempt = Attempt::pending(attempt_id, task_id, job_id, self.now, start_fraction);
-        self.attempts.insert(attempt_id, attempt);
-        self.tasks
-            .get_mut(&task_id)
-            .expect("task exists")
-            .attempts
-            .push(attempt_id);
-        self.rm.enqueue_pending(attempt_id);
+        let attempt_id = AttemptId::new(self.attempts.len() as u64);
+        self.attempts.push(Attempt::pending(
+            attempt_id,
+            task_id,
+            job_id,
+            self.now,
+            start_fraction,
+        ));
+        // Append to the task's sibling chain.
+        match self.tasks[task_idx].last_attempt {
+            Some(last) => self.attempts[last.raw() as usize].next_sibling = Some(attempt_id),
+            None => self.tasks[task_idx].first_attempt = Some(attempt_id),
+        }
+        self.tasks[task_idx].last_attempt = Some(attempt_id);
         Ok(attempt_id)
     }
 
@@ -441,7 +640,7 @@ impl Simulation {
             };
             let still_pending = self
                 .attempts
-                .get(&attempt_id)
+                .get(attempt_id.raw() as usize)
                 .map(|a| a.state == AttemptState::Pending)
                 .unwrap_or(false);
             if !still_pending {
@@ -465,14 +664,15 @@ impl Simulation {
             self.config.jvm.min_secs
         };
         let slowdown = self.rm.slowdown_of(node).unwrap_or(1.0);
-        let (profile, size_factor) = {
-            let attempt = &self.attempts[&attempt_id];
-            let task = &self.tasks[&attempt.task];
-            let job = &self.jobs[&attempt.job];
-            (job.spec.profile, task.size_factor)
-        };
-        let work = profile.sample(&mut self.rng) * size_factor * slowdown;
-        let attempt = self.attempts.get_mut(&attempt_id).expect("attempt exists");
+        let attempt_idx = attempt_id.raw() as usize;
+        let hot = self.task_hot[self.attempts[attempt_idx].task.raw() as usize];
+        // Inverse-CDF Pareto draw, inlined from `Pareto::sample` with the
+        // job's precomputed `1/β` — same RNG draw, same operations, same
+        // bits as `profile.sample(rng) * size_factor * slowdown`.
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let sample = hot.t_min / (1.0 - u).powf(hot.inv_beta);
+        let work = sample * hot.size_factor * slowdown;
+        let attempt = &mut self.attempts[attempt_idx];
         attempt.start(node, self.now, jvm, work);
         let completion = attempt
             .completion_time()
@@ -482,23 +682,22 @@ impl Simulation {
     }
 
     fn kill_attempt(&mut self, attempt_id: AttemptId) -> Result<(), SimError> {
-        let (state, node) = {
-            let Some(attempt) = self.attempts.get(&attempt_id) else {
-                return Err(SimError::unknown(format!("{attempt_id}")));
-            };
-            (attempt.state, attempt.node)
+        let attempt_idx = attempt_id.raw() as usize;
+        let Some(attempt) = self.attempts.get(attempt_idx) else {
+            return Err(SimError::unknown(format!("{attempt_id}")));
         };
+        let (state, node) = (attempt.state, attempt.node);
         match state {
             AttemptState::Finished | AttemptState::Killed => Ok(()),
             AttemptState::Pending => {
                 self.rm.remove_pending(attempt_id);
-                let attempt = self.attempts.get_mut(&attempt_id).expect("attempt exists");
+                let attempt = &mut self.attempts[attempt_idx];
                 attempt.state = AttemptState::Killed;
                 attempt.ended_at = Some(self.now);
                 Ok(())
             }
             AttemptState::Running => {
-                let attempt = self.attempts.get_mut(&attempt_id).expect("attempt exists");
+                let attempt = &mut self.attempts[attempt_idx];
                 attempt.state = AttemptState::Killed;
                 attempt.ended_at = Some(self.now);
                 if let Some(node) = node {
@@ -513,61 +712,63 @@ impl Simulation {
     // Views and reporting
     // ------------------------------------------------------------------
 
-    fn build_job_view(&self, job_id: JobId, check_index: u32) -> Result<JobView, SimError> {
-        let job = self
-            .jobs
-            .get(&job_id)
-            .ok_or_else(|| SimError::unknown(format!("{job_id}")))?;
-        let mut tasks = Vec::with_capacity(job.task_ids.len());
+    /// Builds a policy snapshot from pooled scratch buffers; pair with
+    /// [`Simulation::reclaim_view`] after the policy callback returns.
+    fn build_job_view(&mut self, job_id: JobId, slot: usize, check_index: u32) -> JobView {
+        let submitted_at = self.jobs[slot].spec.submit_time;
+        let deadline_secs = self.jobs[slot].spec.deadline_secs;
+        let task_range = self.jobs[slot].task_range();
+        let mut tasks = std::mem::take(&mut self.view_tasks_scratch);
+        debug_assert!(tasks.is_empty());
         let mut completed_tasks = 0usize;
-        let mut completed_durations = Vec::new();
-        for task_id in &job.task_ids {
-            let task = &self.tasks[task_id];
-            if let Some(done) = task.completed_at {
+        let mut duration_sum = 0.0f64;
+        for task_raw in task_range {
+            let task_idx = task_raw as usize;
+            if let Some(done) = self.tasks[task_idx].completed_at {
                 completed_tasks += 1;
-                completed_durations.push((done.saturating_since(job.spec.submit_time)).as_secs());
+                duration_sum += (done.saturating_since(submitted_at)).as_secs();
             }
-            let attempts = task
-                .attempts
-                .iter()
-                .map(|attempt_id| {
-                    let attempt = &self.attempts[attempt_id];
-                    AttemptView {
-                        attempt: *attempt_id,
-                        active: attempt.is_active(),
-                        running: attempt.is_running(),
-                        launched_at: attempt.launched_at,
-                        progress: attempt.progress_at(self.now),
-                        estimated_completion: estimate_completion(
-                            self.config.estimator,
-                            attempt,
-                            self.now,
-                            self.config.progress_report_interval_secs,
-                        ),
-                        start_fraction: attempt.start_fraction,
-                        resume_offset_hint: estimate_resume_offset(
-                            attempt,
-                            self.now,
-                            self.config.progress_report_interval_secs,
-                        ),
-                    }
-                })
-                .collect();
+            let mut attempts = self.attempt_vec_pool.pop().unwrap_or_default();
+            debug_assert!(attempts.is_empty());
+            let mut cursor = self.tasks[task_idx].first_attempt;
+            while let Some(attempt_id) = cursor {
+                let attempt = &self.attempts[attempt_id.raw() as usize];
+                cursor = attempt.next_sibling;
+                attempts.push(AttemptView {
+                    attempt: attempt_id,
+                    active: attempt.is_active(),
+                    running: attempt.is_running(),
+                    launched_at: attempt.launched_at,
+                    progress: attempt.progress_at(self.now),
+                    estimated_completion: estimate_completion(
+                        self.config.estimator,
+                        attempt,
+                        self.now,
+                        self.config.progress_report_interval_secs,
+                    ),
+                    start_fraction: attempt.start_fraction,
+                    resume_offset_hint: estimate_resume_offset(
+                        attempt,
+                        self.now,
+                        self.config.progress_report_interval_secs,
+                    ),
+                });
+            }
             tasks.push(TaskView {
-                task: *task_id,
-                completed: task.is_completed(),
+                task: TaskId::new(task_raw),
+                completed: self.tasks[task_idx].is_completed(),
                 attempts,
             });
         }
-        let mean_completed_task_duration = if completed_durations.is_empty() {
+        let mean_completed_task_duration = if completed_tasks == 0 {
             None
         } else {
-            Some(completed_durations.iter().sum::<f64>() / completed_durations.len() as f64)
+            Some(duration_sum / completed_tasks as f64)
         };
-        Ok(JobView {
+        JobView {
             job: job_id,
-            submitted_at: job.spec.submit_time,
-            deadline_secs: job.spec.deadline_secs,
+            submitted_at,
+            deadline_secs,
             now: self.now,
             check_index,
             tasks,
@@ -575,19 +776,32 @@ impl Simulation {
             mean_completed_task_duration,
             free_slots: self.rm.free_slots(),
             cluster_has_waiting_work: self.rm.has_waiting_work(),
-        })
+        }
+    }
+
+    /// Returns a snapshot's buffers to the scratch pools.
+    fn reclaim_view(&mut self, mut view: JobView) {
+        for task in &mut view.tasks {
+            let mut attempts = std::mem::take(&mut task.attempts);
+            attempts.clear();
+            self.attempt_vec_pool.push(attempts);
+        }
+        view.tasks.clear();
+        self.view_tasks_scratch = view.tasks;
     }
 
     fn build_report(&self) -> SimulationReport {
         let mut jobs = BTreeMap::new();
         let mut latency = LatencyHistogram::new();
-        for (job_id, job) in &self.jobs {
+        for (slot, job) in self.jobs.iter().enumerate() {
             let mut machine_time = 0.0;
             let mut launched = 0u32;
             let mut killed = 0u32;
-            for task_id in &job.task_ids {
-                for attempt_id in &self.tasks[task_id].attempts {
-                    let attempt = &self.attempts[attempt_id];
+            for task_raw in job.task_range() {
+                let mut cursor = self.tasks[task_raw as usize].first_attempt;
+                while let Some(attempt_id) = cursor {
+                    let attempt = &self.attempts[attempt_id.raw() as usize];
+                    cursor = attempt.next_sibling;
                     machine_time += attempt.machine_time_until(self.now);
                     if attempt.launched_at.is_some() {
                         launched += 1;
@@ -599,7 +813,7 @@ impl Simulation {
             }
             let met_deadline = job.met_deadline().unwrap_or(false);
             let entry = JobMetrics {
-                job: *job_id,
+                job: job.spec.id,
                 submitted_at: job.spec.submit_time,
                 deadline_secs: job.spec.deadline_secs,
                 completed_at: job.completed_at,
@@ -608,18 +822,19 @@ impl Simulation {
                 cost: machine_time * job.spec.price,
                 attempts_launched: launched,
                 attempts_killed: killed,
-                chosen_r: self.chosen_r.get(job_id).copied(),
+                chosen_r: self.chosen_r[slot],
             };
             match entry.completion_secs() {
                 Some(secs) => latency.record_secs(secs),
                 None => latency.record_unfinished(),
             }
-            jobs.insert(*job_id, entry);
+            jobs.insert(job.spec.id, entry);
         }
         SimulationReport {
-            policy: self.policy.name(),
+            policy: self.policy_name.clone(),
             jobs,
-            events_processed: self.events_processed,
+            events_dispatched: self.events_dispatched,
+            events_stale: self.events_stale,
             ended_at: self.now,
             latency,
         }
@@ -928,6 +1143,140 @@ mod tests {
         );
     }
 
+    #[test]
+    fn stale_completions_count_separately_and_skip_the_budget() {
+        // CloneOnce kills one running attempt per task at the 5 s check, so
+        // each task leaves exactly one lazily-deleted completion event.
+        let run_with = |max_events: u64| {
+            let mut config = small_config(7);
+            config.max_events = max_events;
+            let mut sim =
+                Simulation::new(config, Box::new(CloneOnce { kill_offset: 5.0 })).unwrap();
+            sim.submit(job(0, 0.0, 1_000.0, 3)).unwrap();
+            sim.run()
+        };
+        let report = run_with(0).unwrap();
+        assert_eq!(report.events_stale, 3, "one orphaned completion per task");
+        assert!(report.events_dispatched > 0);
+
+        // The budget is measured over dispatched events only: a limit equal
+        // to the dispatched count succeeds even though dispatched + stale
+        // exceeds it, and one less fails.
+        let dispatched = report.events_dispatched;
+        let ok = run_with(dispatched).unwrap();
+        assert_eq!(ok.events_dispatched, dispatched);
+        assert_eq!(ok.events_stale, report.events_stale);
+        assert!(matches!(
+            run_with(dispatched - 1),
+            Err(SimError::EventBudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn heavy_pruning_drains_the_event_queue_completely() {
+        // Satellite regression for the lazy-deletion contract: a reschedule-
+        // heavy run (clone + prune every task) must pop every scheduled
+        // event exactly once — dispatched or stale — and leave no residue.
+        let mut sim =
+            Simulation::new(small_config(7), Box::new(CloneOnce { kill_offset: 5.0 })).unwrap();
+        sim.submit_all((0..10).map(|i| job(i, f64::from(i as u32) * 5.0, 10_000.0, 3)))
+            .unwrap();
+        let report = sim.run().unwrap();
+        assert!(report.events_stale > 0);
+        assert!(sim.events.is_empty());
+        assert_eq!(
+            report.events_dispatched + report.events_stale,
+            sim.events.scheduled_total(),
+            "every scheduled event is accounted exactly once"
+        );
+    }
+
+    /// Profile-pure policy that counts planner invocations vs replays.
+    #[derive(Debug)]
+    struct MemoProbe {
+        pure: bool,
+        submits: std::sync::Arc<std::sync::atomic::AtomicU32>,
+        replays: std::sync::Arc<std::sync::atomic::AtomicU32>,
+    }
+
+    impl MemoProbe {
+        fn new(pure: bool) -> Self {
+            MemoProbe {
+                pure,
+                submits: Default::default(),
+                replays: Default::default(),
+            }
+        }
+    }
+
+    impl SpeculationPolicy for MemoProbe {
+        fn name(&self) -> String {
+            "memo-probe".to_string()
+        }
+
+        fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
+            self.submits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            SubmitDecision {
+                extra_clones_per_task: 1,
+                reported_r: Some(1),
+            }
+        }
+
+        fn submit_is_profile_pure(&self) -> bool {
+            self.pure
+        }
+
+        fn on_job_submit_replayed(&mut self, _job: &JobSubmitView, decision: SubmitDecision) {
+            assert_eq!(decision.reported_r, Some(1));
+            self.replays
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+
+        fn check_schedule(&self, _job: &JobSubmitView) -> CheckSchedule {
+            CheckSchedule::AtOffsets(vec![5.0])
+        }
+
+        fn on_check(&mut self, _view: &JobView) -> Vec<PolicyAction> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn submit_memoization_plans_each_profile_once_and_changes_nothing() {
+        use std::sync::atomic::Ordering;
+        let run = |pure: bool| {
+            let probe = MemoProbe::new(pure);
+            let submits = std::sync::Arc::clone(&probe.submits);
+            let replays = std::sync::Arc::clone(&probe.replays);
+            let mut sim = Simulation::new(small_config(13), Box::new(probe)).unwrap();
+            // Six jobs over two distinct profiles (deadline differs).
+            sim.submit_all((0..6).map(|i| {
+                job(
+                    i,
+                    f64::from(i as u32) * 2.0,
+                    if i % 2 == 0 { 400.0 } else { 600.0 },
+                    2,
+                )
+            }))
+            .unwrap();
+            let report = sim.run().unwrap();
+            (
+                report,
+                submits.load(Ordering::Relaxed),
+                replays.load(Ordering::Relaxed),
+            )
+        };
+        let (memoized, memo_submits, memo_replays) = run(true);
+        let (direct, direct_submits, direct_replays) = run(false);
+        assert_eq!(memo_submits, 2, "two distinct profiles planned");
+        assert_eq!(memo_replays, 4, "four arrivals replayed");
+        assert_eq!(direct_submits, 6);
+        assert_eq!(direct_replays, 0);
+        // Memoization must not change a single bit of the outcome.
+        assert_eq!(memoized, direct);
+    }
+
     /// Policy that misbehaves by targeting a foreign job's task.
     #[derive(Debug)]
     struct Misbehaving;
@@ -975,6 +1324,7 @@ mod tests {
         assert_eq!(sim.policy_name(), "hadoop-ns");
         let report = sim.run().unwrap();
         assert_eq!(report.policy, "hadoop-ns");
-        assert!(report.events_processed > 0);
+        assert!(report.events_dispatched > 0);
+        assert_eq!(report.events_stale, 0);
     }
 }

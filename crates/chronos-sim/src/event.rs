@@ -1,8 +1,46 @@
-//! The discrete-event queue driving the simulation.
+//! The discrete-event queue driving the simulation: a paged timer wheel
+//! with a far-future overflow heap.
 //!
-//! Events are ordered by `(time, sequence number)`: the sequence number is a
-//! monotonically increasing tiebreaker so that same-timestamp events are
-//! processed in insertion order, keeping runs deterministic.
+//! # Ordering contract
+//!
+//! Events are totally ordered by `(time, sequence number)`: the sequence
+//! number is a monotonically increasing tiebreaker so that same-timestamp
+//! events pop in insertion order, keeping runs deterministic. The wheel is
+//! an implementation detail — [`EventQueue::pop`] yields exactly the
+//! sequence a binary heap over `(time, seq)` would, which is what lets the
+//! determinism pyramid (goldens, bit-identity proptests, the 1M-job scale
+//! test) pin the engine rewrite.
+//!
+//! # Layout
+//!
+//! Simulated time (integer microseconds) is split into *pages* of
+//! 2^[`PAGE_SHIFT`] µs (≈ 131 ms). The wheel holds one bucket per page for
+//! the [`WHEEL_BUCKETS`] pages starting at the cursor page — a horizon of
+//! ≈ 9 simulated minutes. Scheduling into the window is an O(1) push into
+//! the page's bucket (plus an occupancy-bitmap bit set); events beyond the
+//! horizon go to a binary-heap overflow and are admitted into the wheel as
+//! the cursor advances past their page. Events at or before the cursor page
+//! (zero-delay wakeups, late reschedules) are clamped into the cursor
+//! bucket; correctness is unaffected because extraction always scans the
+//! cursor bucket for its `(time, seq)` minimum.
+//!
+//! Popping takes the minimum of the cursor bucket; when that bucket drains,
+//! the occupancy bitmap finds the next non-empty bucket (or the queue jumps
+//! to the overflow minimum's page), and the overflow is drained into the
+//! freshly exposed window *on every cursor advance* — the invariant that
+//! overflow entries always lie at or beyond the wheel horizon is what makes
+//! the cross-page ordering exact.
+//!
+//! # Lazy deletion and capacity
+//!
+//! The queue itself never deletes scheduled events: the engine cancels an
+//! [`Event::AttemptCompletion`] by killing the attempt and ignoring the
+//! event when it pops (*lazy deletion*; such pops are counted as
+//! `events_stale`, not dispatched). A fully drained queue therefore holds
+//! no residue by construction — every scheduled entry is eventually popped
+//! — and [`EventQueue::capacity`] exposes the allocated slot capacity so
+//! tests can pin that reschedule-heavy runs leave nothing behind and bound
+//! the high-water allocation.
 
 use crate::ids::{AttemptId, JobId};
 use crate::time::SimTime;
@@ -31,7 +69,22 @@ pub enum Event {
     },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Number of pages the wheel spans; must be a power of two.
+pub const WHEEL_BUCKETS: usize = 1 << 12;
+/// log₂ of the page width in microseconds: 2^17 µs ≈ 131 ms per bucket.
+pub const PAGE_SHIFT: u32 = 17;
+
+const BUCKET_MASK: u64 = WHEEL_BUCKETS as u64 - 1;
+const OCC_WORDS: usize = WHEEL_BUCKETS / 64;
+// The one-word occupancy summary requires exactly 64 occupancy words.
+const _: () = assert!(OCC_WORDS == 64);
+
+#[inline]
+fn page_of(time: SimTime) -> u64 {
+    time.as_micros() >> PAGE_SHIFT
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ScheduledEvent {
     time: SimTime,
     seq: u64,
@@ -54,10 +107,25 @@ impl PartialOrd for ScheduledEvent {
     }
 }
 
-/// Priority queue of pending events.
-#[derive(Debug, Default)]
+/// Priority queue of pending events (see the [module docs](self) for the
+/// timer-wheel layout and the ordering contract).
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
+    /// One bucket per page in `[cur_page, cur_page + WHEEL_BUCKETS)`,
+    /// indexed by `page & BUCKET_MASK`.
+    buckets: Vec<Vec<ScheduledEvent>>,
+    /// Bit `i` set iff `buckets[i]` is non-empty.
+    occupancy: [u64; OCC_WORDS],
+    /// Two-level index over `occupancy`: bit `w` set iff `occupancy[w]` is
+    /// non-zero, making the next-occupied-bucket scan O(1) instead of a
+    /// walk over all [`OCC_WORDS`] words.
+    occupancy_summary: u64,
+    /// Events at pages ≥ `cur_page + WHEEL_BUCKETS` (beyond the horizon),
+    /// admitted into the wheel as the cursor advances.
+    overflow: BinaryHeap<ScheduledEvent>,
+    /// The page the cursor bucket represents.
+    cur_page: u64,
+    len: usize,
     next_seq: u64,
 }
 
@@ -66,7 +134,12 @@ impl EventQueue {
     #[must_use]
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: vec![Vec::new(); WHEEL_BUCKETS],
+            occupancy: [0; OCC_WORDS],
+            occupancy_summary: 0,
+            overflow: BinaryHeap::new(),
+            cur_page: 0,
+            len: 0,
             next_seq: 0,
         }
     }
@@ -75,36 +148,185 @@ impl EventQueue {
     pub fn schedule(&mut self, time: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(ScheduledEvent { time, seq, event });
+        let entry = ScheduledEvent { time, seq, event };
+        let page = page_of(time);
+        if page >= self.cur_page + WHEEL_BUCKETS as u64 {
+            self.overflow.push(entry);
+        } else {
+            // Pages at or before the cursor clamp into the cursor bucket;
+            // min-extraction keeps them correctly ordered.
+            self.insert_into_wheel(page.max(self.cur_page), entry);
+        }
+        self.len += 1;
     }
 
-    /// Pops the earliest event, if any.
+    #[inline]
+    fn insert_into_wheel(&mut self, page: u64, entry: ScheduledEvent) {
+        let idx = (page & BUCKET_MASK) as usize;
+        self.buckets[idx].push(entry);
+        self.occupancy[idx / 64] |= 1 << (idx % 64);
+        self.occupancy_summary |= 1 << (idx / 64);
+    }
+
+    /// Pops the earliest event (by `(time, seq)`), if any.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let idx = (self.cur_page & BUCKET_MASK) as usize;
+            if !self.buckets[idx].is_empty() {
+                let entry = Self::extract_min(&mut self.buckets[idx]);
+                if self.buckets[idx].is_empty() {
+                    self.occupancy[idx / 64] &= !(1 << (idx % 64));
+                    if self.occupancy[idx / 64] == 0 {
+                        self.occupancy_summary &= !(1 << (idx / 64));
+                    }
+                }
+                self.len -= 1;
+                return Some((entry.time, entry.event));
+            }
+            self.advance(idx);
+        }
+    }
+
+    /// Removes the `(time, seq)`-minimal entry of a non-empty bucket.
+    fn extract_min(bucket: &mut Vec<ScheduledEvent>) -> ScheduledEvent {
+        let mut best = 0;
+        for (i, entry) in bucket.iter().enumerate().skip(1) {
+            let current = &bucket[best];
+            if (entry.time, entry.seq) < (current.time, current.seq) {
+                best = i;
+            }
+        }
+        bucket.swap_remove(best)
+    }
+
+    /// Moves the cursor to the next non-empty bucket (or jumps to the
+    /// overflow minimum's page when the wheel is empty), then admits every
+    /// overflow event that the moved horizon now covers. Admitting on
+    /// *every* advance upholds the invariant that overflow entries lie at
+    /// or beyond the horizon — the ordering proof depends on it.
+    fn advance(&mut self, cursor_idx: usize) {
+        debug_assert!(self.len > 0, "advance on an empty queue");
+        if let Some(delta) = self.next_occupied_delta(cursor_idx) {
+            self.cur_page += delta as u64;
+        } else {
+            let top = self
+                .overflow
+                .peek()
+                .expect("non-empty queue with an empty wheel has overflow events");
+            self.cur_page = page_of(top.time);
+        }
+        let horizon = self.cur_page + WHEEL_BUCKETS as u64;
+        while let Some(top) = self.overflow.peek() {
+            if page_of(top.time) >= horizon {
+                break;
+            }
+            let entry = self.overflow.pop().expect("peeked entry exists");
+            self.insert_into_wheel(page_of(entry.time), entry);
+        }
+    }
+
+    /// Circular distance (in buckets) from `from_idx` to the next occupied
+    /// bucket, excluding `from_idx` itself; `None` when the wheel is empty.
+    fn next_occupied_delta(&self, from_idx: usize) -> Option<usize> {
+        let start = (from_idx + 1) & (WHEEL_BUCKETS - 1);
+        let word = start / 64;
+        let masked = self.occupancy[word] & (!0u64 << (start % 64));
+        if masked != 0 {
+            let found = word * 64 + masked.trailing_zeros() as usize;
+            return Some((found + WHEEL_BUCKETS - from_idx) & (WHEEL_BUCKETS - 1));
+        }
+        // Rotate the summary so bit `j` is word `word + 1 + j` (mod 64): the
+        // word search becomes one trailing_zeros instead of an OCC_WORDS
+        // walk. `from_idx`'s own bit is always clear here (the caller scans
+        // from an empty bucket), so the found bucket can never be `from_idx`
+        // and the wrap-around delta is always in (0, WHEEL_BUCKETS).
+        let rotated = self
+            .occupancy_summary
+            .rotate_right(((word + 1) % OCC_WORDS) as u32);
+        if rotated == 0 {
+            return None;
+        }
+        let step = rotated.trailing_zeros() as usize + 1;
+        let w = (word + step) % OCC_WORDS;
+        let bits = self.occupancy[w];
+        debug_assert!(bits != 0, "summary bit set for an empty occupancy word");
+        let found = w * 64 + bits.trailing_zeros() as usize;
+        debug_assert_ne!(found, from_idx, "scan restarted from an occupied bucket");
+        Some((found + WHEEL_BUCKETS - from_idx) & (WHEEL_BUCKETS - 1))
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Total number of events ever scheduled on this queue (the sequence
+    /// counter). Since every scheduled event is eventually popped exactly
+    /// once, a drained queue satisfies
+    /// `scheduled_total == dispatched + stale`.
+    #[must_use]
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total allocated entry capacity (wheel buckets plus overflow heap).
+    /// Bounded by the high-water mark of *concurrently* pending events —
+    /// not by the total ever scheduled — which is what the capacity
+    /// regression test pins.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buckets.iter().map(Vec::capacity).sum::<usize>() + self.overflow.capacity()
     }
 
     /// The timestamp of the next event without removing it.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        if self.len == 0 {
+            return None;
+        }
+        let idx = (self.cur_page & BUCKET_MASK) as usize;
+        let bucket_min = |bucket: &Vec<ScheduledEvent>| {
+            bucket
+                .iter()
+                .map(|entry| (entry.time, entry.seq))
+                .min()
+                .map(|(time, _)| time)
+        };
+        // The cursor bucket, the next occupied bucket or the overflow top —
+        // in that order — holds the global minimum: wheel pages are below
+        // the horizon, overflow pages at or beyond it.
+        if let Some(time) = bucket_min(&self.buckets[idx]) {
+            return Some(time);
+        }
+        if let Some(delta) = self.next_occupied_delta(idx) {
+            let next = ((self.cur_page + delta as u64) & BUCKET_MASK) as usize;
+            return bucket_min(&self.buckets[next]);
+        }
+        self.overflow.peek().map(|entry| entry.time)
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn pops_in_time_order() {
@@ -155,5 +377,151 @@ mod tests {
         q.pop();
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_route_through_the_overflow_heap() {
+        // The wheel horizon is WHEEL_BUCKETS pages; times beyond it must
+        // still pop in exact (time, seq) order after overflow admission.
+        let mut q = EventQueue::new();
+        let horizon_micros = (WHEEL_BUCKETS as u64) << PAGE_SHIFT;
+        let times = [
+            horizon_micros * 7 + 3,
+            5,
+            horizon_micros * 2,
+            horizon_micros - 1,
+            horizon_micros + 1,
+            horizon_micros * 7 + 3, // duplicate time: seq breaks the tie
+        ];
+        for (i, micros) in times.iter().enumerate() {
+            q.schedule(
+                SimTime::from_micros(*micros),
+                Event::AttemptCompletion(AttemptId::new(i as u64)),
+            );
+        }
+        let popped: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop())
+            .map(|(t, e)| match e {
+                Event::AttemptCompletion(a) => (t.as_micros(), a.raw()),
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut expected: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(i, micros)| (*micros, i as u64))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn late_schedules_behind_the_cursor_pop_next() {
+        // Advance the cursor far into the wheel, then schedule an event at
+        // an already-passed page: it clamps into the cursor bucket and must
+        // pop before everything later.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(100.0), Event::JobArrival(JobId::new(0)));
+        q.schedule(SimTime::from_secs(200.0), Event::JobArrival(JobId::new(1)));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(100.0));
+        q.schedule(SimTime::from_secs(1.0), Event::JobArrival(JobId::new(2)));
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(1.0));
+        assert_eq!(e, Event::JobArrival(JobId::new(2)));
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(200.0));
+        assert!(q.pop().is_none());
+    }
+
+    /// The wheel must reproduce a reference `(time, seq)` sort exactly under
+    /// interleaved schedule/pop traffic spanning pages, ties, the overflow
+    /// horizon and zero-delay clamps.
+    #[test]
+    fn matches_reference_order_under_random_interleaving() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // (micros, seq)
+        let mut seq = 0u64;
+        let mut popped: Vec<(u64, u64)> = Vec::new();
+        let mut now = 0u64;
+        for round in 0..2_000 {
+            let burst = rng.gen_range(0..4);
+            for _ in 0..burst {
+                // Mix near-future, same-time and far-future (overflow) times,
+                // always at or after the last popped instant.
+                let jitter: u64 = match rng.gen_range(0..10) {
+                    0 => 0,
+                    1..=7 => rng.gen_range(0..5_000_000),
+                    _ => rng.gen_range(0..(1u64 << 32)),
+                };
+                let micros = now + jitter;
+                q.schedule(
+                    SimTime::from_micros(micros),
+                    Event::AttemptCompletion(AttemptId::new(seq)),
+                );
+                reference.push((micros, seq));
+                seq += 1;
+            }
+            if round % 3 != 0 {
+                if let Some((t, e)) = q.pop() {
+                    now = t.as_micros();
+                    let Event::AttemptCompletion(a) = e else {
+                        unreachable!()
+                    };
+                    popped.push((t.as_micros(), a.raw()));
+                }
+            }
+        }
+        while let Some((t, e)) = q.pop() {
+            let Event::AttemptCompletion(a) = e else {
+                unreachable!()
+            };
+            popped.push((t.as_micros(), a.raw()));
+        }
+        // Seq equals insertion order here, so the reference order is the
+        // stable sort by (time, seq).
+        reference.sort_unstable();
+        assert_eq!(popped, reference);
+    }
+
+    #[test]
+    fn drained_queue_leaves_no_residue_and_bounds_capacity() {
+        // Reschedule-heavy traffic: many schedule/pop generations, as an
+        // evict + re-speculate run produces. At drain the queue must hold
+        // nothing (no stale entries anywhere in the wheel or overflow) and
+        // its allocated capacity must reflect the concurrent high-water
+        // mark, not the 10_000 events that ever flowed through.
+        let mut q = EventQueue::new();
+        let mut live = 0usize;
+        let mut peak = 0usize;
+        for generation in 0..100u64 {
+            for i in 0..100u64 {
+                q.schedule(
+                    SimTime::from_micros(generation * 1_000 + i * 7),
+                    Event::AttemptCompletion(AttemptId::new(generation * 100 + i)),
+                );
+                live += 1;
+                peak = peak.max(live);
+            }
+            for _ in 0..100 {
+                q.pop().expect("events pending");
+                live -= 1;
+            }
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        assert!(
+            q.buckets.iter().all(Vec::is_empty) && q.overflow.is_empty(),
+            "drained queue retained entries"
+        );
+        assert_eq!(q.occupancy, [0u64; OCC_WORDS]);
+        assert_eq!(q.occupancy_summary, 0);
+        // Vec growth doubles, so a generous peak-proportional bound still
+        // catches capacity scaling with total throughput (10_000 events).
+        assert!(
+            q.capacity() <= peak * 8 + 64,
+            "capacity {} not bounded by the high-water mark {}",
+            q.capacity(),
+            peak
+        );
     }
 }

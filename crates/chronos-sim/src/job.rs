@@ -151,33 +151,40 @@ impl JobSpec {
 }
 
 /// Mutable runtime record of a task.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Attempts are not stored in a per-task `Vec`: the engine keeps all
+/// attempts in one dense slab, and each task holds the head/tail of an
+/// intrusive *sibling chain* threaded through
+/// [`Attempt::next_sibling`](crate::attempt::Attempt::next_sibling). This
+/// keeps per-task attempt iteration allocation-free in the event hot loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TaskRuntime {
-    /// Globally unique task id.
+    /// Globally unique task id (equal to the task's slot in the engine's
+    /// dense task slab).
     pub id: TaskId,
     /// Owning job.
     pub job: JobId,
-    /// Index of the task within its job (0-based).
-    pub index_in_job: usize,
     /// Relative split size.
     pub size_factor: f64,
     /// When the task's first successful attempt finished, if any.
     pub completed_at: Option<SimTime>,
-    /// All attempts ever created for this task, in creation order.
-    pub attempts: Vec<AttemptId>,
+    /// Head of the attempt sibling chain (creation order), if any.
+    pub first_attempt: Option<AttemptId>,
+    /// Tail of the attempt sibling chain, for O(1) append.
+    pub last_attempt: Option<AttemptId>,
 }
 
 impl TaskRuntime {
     /// Creates the runtime record for a task.
     #[must_use]
-    pub fn new(id: TaskId, job: JobId, index_in_job: usize, spec: &TaskSpec) -> Self {
+    pub fn new(id: TaskId, job: JobId, spec: &TaskSpec) -> Self {
         TaskRuntime {
             id,
             job,
-            index_in_job,
             size_factor: spec.size_factor,
             completed_at: None,
-            attempts: Vec::new(),
+            first_attempt: None,
+            last_attempt: None,
         }
     }
 
@@ -189,12 +196,18 @@ impl TaskRuntime {
 }
 
 /// Mutable runtime record of a job.
+///
+/// The engine allocates a job's tasks as one *contiguous* block of the
+/// dense task slab at arrival, so the runtime stores only the first task id
+/// instead of a `Vec<TaskId>`; [`JobRuntime::task_range`] recovers the full
+/// id range from the spec's task count without touching the heap.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobRuntime {
     /// The static specification.
     pub spec: JobSpec,
-    /// The tasks created for the job, in `index_in_job` order.
-    pub task_ids: Vec<TaskId>,
+    /// First id of the job's contiguous task-id block; `None` until the
+    /// arrival event creates the tasks.
+    pub first_task: Option<TaskId>,
     /// Number of tasks not yet completed.
     pub tasks_remaining: usize,
     /// When the last task completed, if the job is done.
@@ -208,9 +221,19 @@ impl JobRuntime {
         let tasks_remaining = spec.task_count();
         JobRuntime {
             spec,
-            task_ids: Vec::new(),
+            first_task: None,
             tasks_remaining,
             completed_at: None,
+        }
+    }
+
+    /// The job's contiguous range of raw task ids, in `index_in_job` order
+    /// (empty before the arrival event has created the tasks).
+    #[must_use]
+    pub fn task_range(&self) -> std::ops::Range<u64> {
+        match self.first_task {
+            Some(first) => first.raw()..first.raw() + self.spec.task_count() as u64,
+            None => 0..0,
         }
     }
 
@@ -281,11 +304,22 @@ mod tests {
 
     #[test]
     fn task_runtime_tracks_completion() {
-        let mut t = TaskRuntime::new(TaskId::new(0), JobId::new(1), 0, &TaskSpec::nominal());
+        let mut t = TaskRuntime::new(TaskId::new(0), JobId::new(1), &TaskSpec::nominal());
         assert!(!t.is_completed());
+        assert_eq!(t.first_attempt, None);
+        assert_eq!(t.last_attempt, None);
         t.completed_at = Some(SimTime::from_secs(30.0));
         assert!(t.is_completed());
         assert_eq!(t.size_factor, 1.0);
+    }
+
+    #[test]
+    fn task_range_is_contiguous_from_first_task() {
+        let mut j = JobRuntime::new(spec());
+        assert_eq!(j.task_range(), 0..0);
+        j.first_task = Some(TaskId::new(12));
+        assert_eq!(j.task_range(), 12..16);
+        assert_eq!(j.task_range().count(), j.spec.task_count());
     }
 
     #[test]

@@ -212,8 +212,15 @@ pub struct SimulationReport {
     pub policy: String,
     /// Per-job metrics keyed by job id.
     pub jobs: BTreeMap<JobId, JobMetrics>,
-    /// Total number of events processed (diagnostic).
-    pub events_processed: u64,
+    /// Number of events that were dispatched to a handler. This is the
+    /// engine's unit of work: throughput (events/sec) and the `max_events`
+    /// budget are both measured over dispatched events.
+    pub events_dispatched: u64,
+    /// Number of lazily-deleted events popped and discarded (completions of
+    /// attempts that were killed after the event was scheduled). Diagnostic
+    /// only — stale pops advance simulated time but do no work and consume
+    /// no event budget.
+    pub events_stale: u64,
     /// Simulated instant at which the run ended (the latest such instant
     /// across shards after a merge).
     pub ended_at: SimTime,
@@ -237,7 +244,7 @@ impl SimulationReport {
     ///
     /// * per-job metrics are unioned into the id-keyed map (job ids must be
     ///   disjoint; this is what makes the union order-insensitive),
-    /// * `events_processed` is summed,
+    /// * `events_dispatched` and `events_stale` are summed,
     /// * `ended_at` takes the maximum over the exact integer-microsecond
     ///   clock,
     /// * latency histograms add element-wise over integer counts,
@@ -252,14 +259,37 @@ impl SimulationReport {
     /// Returns [`SimError::MergeConflict`] when both reports contain the
     /// same job id; `self` is left unchanged in that case.
     pub fn merge(&mut self, other: SimulationReport) -> Result<(), SimError> {
-        if let Some(duplicate) = other.jobs.keys().find(|id| self.jobs.contains_key(id)) {
-            return Err(SimError::merge_conflict(format!(
-                "both reports contain {duplicate}"
-            )));
+        // Disjoint id *ranges* (the common case: shards own contiguous,
+        // ordered job-id blocks) need no per-key duplicate scan.
+        let ranges_overlap = match (
+            self.jobs.first_key_value(),
+            self.jobs.last_key_value(),
+            other.jobs.first_key_value(),
+            other.jobs.last_key_value(),
+        ) {
+            (
+                Some((self_min, _)),
+                Some((self_max, _)),
+                Some((other_min, _)),
+                Some((other_max, _)),
+            ) => other_min <= self_max && self_min <= other_max,
+            _ => false,
+        };
+        if ranges_overlap {
+            if let Some(duplicate) = other.jobs.keys().find(|id| self.jobs.contains_key(id)) {
+                return Err(SimError::merge_conflict(format!(
+                    "both reports contain {duplicate}"
+                )));
+            }
         }
         self.policy = union_policy_labels(&self.policy, &other.policy);
-        self.jobs.extend(other.jobs);
-        self.events_processed += other.events_processed;
+        // `append` bulk-merges two sorted trees (and degenerates to a plain
+        // move while `self` is still empty), where `extend` would pay a
+        // full tree descent per job.
+        let mut other_jobs = other.jobs;
+        self.jobs.append(&mut other_jobs);
+        self.events_dispatched += other.events_dispatched;
+        self.events_stale += other.events_stale;
         self.ended_at = self.ended_at.max(other.ended_at);
         self.latency.merge(&other.latency);
         Ok(())
@@ -436,7 +466,8 @@ mod tests {
         SimulationReport {
             policy: "test".to_string(),
             jobs,
-            events_processed: 99,
+            events_dispatched: 99,
+            events_stale: 5,
             ended_at: SimTime::from_secs(500.0),
             latency,
         }
@@ -619,6 +650,58 @@ mod tests {
     }
 
     #[test]
+    fn quantile_zero_is_the_first_non_empty_bucket_edge() {
+        // q = 0 makes the raw target 0 samples; the `.max(1.0)` clamp must
+        // promote it to "the first recorded sample", i.e. the upper edge of
+        // the first non-empty bucket — not bucket 0's edge, and not `None`.
+        let mut h = LatencyHistogram::new();
+        h.record_secs(150.0); // bucket 8: [128, 256)
+        h.record_secs(1000.0); // bucket 10
+        assert_eq!(h.quantile_upper_bound(0.0), Some(256.0));
+        // Negative q clamps to 0 and behaves identically.
+        assert_eq!(h.quantile_upper_bound(-3.0), Some(256.0));
+    }
+
+    #[test]
+    fn quantile_extremes_on_a_single_sample() {
+        // With one sample every quantile is that sample's bucket edge.
+        let mut h = LatencyHistogram::new();
+        h.record_secs(80.0); // bucket 7: [64, 128)
+        for q in [0.0, 0.25, 0.5, 1.0, 2.0] {
+            assert_eq!(h.quantile_upper_bound(q), Some(128.0), "q = {q}");
+        }
+        // Unfinished jobs do not participate in quantiles.
+        h.record_unfinished();
+        assert_eq!(h.quantile_upper_bound(1.0), Some(128.0));
+    }
+
+    #[test]
+    fn merged_histogram_quantiles_match_recompute_from_scratch() {
+        // Quantiles over a merge of shard histograms must equal quantiles
+        // over one histogram fed every sample — the property the sharded
+        // runner's report aggregation depends on.
+        let samples: [&[f64]; 3] = [&[0.4, 3.0, 900.0], &[70.0, 70.5, 128.0], &[2.0, 40_000.0]];
+        let mut merged = LatencyHistogram::new();
+        let mut scratch = LatencyHistogram::new();
+        for shard_samples in samples {
+            let mut shard = LatencyHistogram::new();
+            for &secs in shard_samples {
+                shard.record_secs(secs);
+                scratch.record_secs(secs);
+            }
+            merged.merge(&shard);
+        }
+        assert_eq!(merged, scratch);
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                merged.quantile_upper_bound(q),
+                scratch.quantile_upper_bound(q),
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
     fn report_latency_matches_job_map() {
         let r = report();
         assert_eq!(r.latency.total(), 4);
@@ -638,7 +721,8 @@ mod tests {
         let mut merged = a.clone();
         merged.merge(b.clone()).unwrap();
         assert_eq!(merged.job_count(), 3);
-        assert_eq!(merged.events_processed, 198);
+        assert_eq!(merged.events_dispatched, 198);
+        assert_eq!(merged.events_stale, 10);
         assert_eq!(merged.ended_at, SimTime::from_secs(500.0));
         assert_eq!(merged.policy, "test");
         assert_eq!(merged.latency.total(), 3);
@@ -700,7 +784,8 @@ mod tests {
         ];
         let merged = SimulationReport::merged(reports).unwrap();
         assert_eq!(merged.job_count(), 3);
-        assert_eq!(merged.events_processed, 297);
+        assert_eq!(merged.events_dispatched, 297);
+        assert_eq!(merged.events_stale, 15);
         assert_eq!(
             SimulationReport::merged(Vec::new()).unwrap(),
             SimulationReport::default()

@@ -236,6 +236,31 @@ pub trait SpeculationPolicy: fmt::Debug + Send {
     /// Chronos optimizer here and remembers the resulting `r` for the job.
     fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision;
 
+    /// Whether [`SpeculationPolicy::on_job_submit`] and
+    /// [`SpeculationPolicy::check_schedule`] are pure functions of the
+    /// job's *profile* — every [`JobSubmitView`] field except the id.
+    ///
+    /// Returning `true` opts the policy into the engine's submit
+    /// memoization: jobs sharing a profile are planned once and subsequent
+    /// arrivals replay the cached `(SubmitDecision, CheckSchedule)` through
+    /// [`SpeculationPolicy::on_job_submit_replayed`] — the `chronos-plan`
+    /// batch dedup applied at simulation time. Policies whose submit
+    /// decisions depend on the job id, on mutable state, or on anything
+    /// beyond the profile must keep the default `false`.
+    fn submit_is_profile_pure(&self) -> bool {
+        false
+    }
+
+    /// Called instead of [`SpeculationPolicy::on_job_submit`] when the
+    /// engine replays a memoized submit decision for a profile-pure policy
+    /// (see [`SpeculationPolicy::submit_is_profile_pure`]). Policies that
+    /// record per-job state at submission — e.g. the chosen `r` consulted
+    /// at later check points — must mirror that bookkeeping here. The
+    /// default does nothing.
+    fn on_job_submit_replayed(&mut self, job: &JobSubmitView, decision: SubmitDecision) {
+        let _ = (job, decision);
+    }
+
     /// Which check points the policy wants for this job.
     fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule;
 
@@ -260,6 +285,11 @@ impl SpeculationPolicy for NoSpeculation {
 
     fn check_schedule(&self, _job: &JobSubmitView) -> CheckSchedule {
         CheckSchedule::Never
+    }
+
+    fn submit_is_profile_pure(&self) -> bool {
+        // Stateless and id-blind: trivially memoizable.
+        true
     }
 
     fn on_check(&mut self, _view: &JobView) -> Vec<PolicyAction> {

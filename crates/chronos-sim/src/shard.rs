@@ -830,6 +830,7 @@ mod tests {
         let report = runner.run(Vec::new(), |_| Box::new(NoSpeculation)).unwrap();
         assert_eq!(report.job_count(), 0);
         assert_eq!(report.policy, "hadoop-ns");
-        assert_eq!(report.events_processed, 0);
+        assert_eq!(report.events_dispatched, 0);
+        assert_eq!(report.events_stale, 0);
     }
 }

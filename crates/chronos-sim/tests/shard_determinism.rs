@@ -49,7 +49,8 @@ fn sim_config(seed: u64, shards: u32, workers: u32) -> SimConfig {
 fn synthetic_report(id_base: u64, job_count: u64, policy: &str, salt: u64) -> SimulationReport {
     let mut report = SimulationReport {
         policy: policy.to_string(),
-        events_processed: salt % 10_000,
+        events_dispatched: salt % 10_000,
+        events_stale: salt % 97,
         ended_at: SimTime::from_micros(salt.wrapping_mul(31) % 1_000_000_000),
         ..SimulationReport::default()
     };

@@ -100,6 +100,20 @@ impl SpeculationPolicy for RestartPolicy {
         }
     }
 
+    fn submit_is_profile_pure(&self) -> bool {
+        // The planned `r` and the `[τ_est, τ_kill]` schedule are functions
+        // of the job profile alone (memoization is wall-clock only).
+        true
+    }
+
+    fn on_job_submit_replayed(&mut self, job: &JobSubmitView, decision: SubmitDecision) {
+        // Mirror the per-job bookkeeping of `on_job_submit` so `r_for`
+        // sees the replayed decision instead of the fallback.
+        if let Some(r) = decision.reported_r {
+            self.chosen_r.insert(job.job.raw(), r);
+        }
+    }
+
     fn check_schedule(&self, job: &JobSubmitView) -> CheckSchedule {
         let (tau_est, tau_kill) = self.config().timing.resolve(job.profile.t_min());
         CheckSchedule::AtOffsets(vec![tau_est, tau_kill])

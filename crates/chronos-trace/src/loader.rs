@@ -465,6 +465,8 @@ pub struct TraceLoader<R> {
     columns: Columns,
     /// 1-based number of the last line read.
     line: usize,
+    /// Reused line buffer — row parsing never allocates per line.
+    buf: String,
 }
 
 impl TraceLoader<BufReader<File>> {
@@ -479,7 +481,9 @@ impl TraceLoader<BufReader<File>> {
             line: 0,
             message: format!("{}: {err}", path.as_ref().display()),
         })?;
-        TraceLoader::from_reader(BufReader::new(file))
+        // A generous buffer: traces are a few MB and row parsing is fast
+        // enough that the default 8 KiB buffer's refill syscalls show up.
+        TraceLoader::from_reader(BufReader::with_capacity(1 << 18, file))
     }
 }
 
@@ -495,13 +499,13 @@ impl<R: BufRead> TraceLoader<R> {
     /// [`TraceParseError::UnknownColumn`].
     pub fn from_reader(mut reader: R) -> Result<Self, TraceParseError> {
         let mut line = 0usize;
-        let header_text = match read_line(&mut reader, &mut line)? {
-            Some(text) => text,
+        let mut buf = String::new();
+        let header = match read_line(&mut reader, &mut line, &mut buf)? {
+            Some(text) => parse_header(text, line)?,
             None => return Err(TraceParseError::EmptyFile),
         };
-        let header = parse_header(&header_text, line)?;
-        let columns_text = match read_line(&mut reader, &mut line)? {
-            Some(text) => text,
+        let columns = match read_line(&mut reader, &mut line, &mut buf)? {
+            Some(text) => parse_columns(text, line)?,
             None => {
                 return Err(TraceParseError::MalformedColumns {
                     line: line + 1,
@@ -509,7 +513,6 @@ impl<R: BufRead> TraceLoader<R> {
                 })
             }
         };
-        let columns = parse_columns(&columns_text, line)?;
         if columns.beta.is_none() && header.default_beta.is_none() {
             return Err(TraceParseError::MalformedColumns {
                 line,
@@ -523,6 +526,7 @@ impl<R: BufRead> TraceLoader<R> {
             header,
             columns,
             line,
+            buf,
         })
     }
 
@@ -555,7 +559,7 @@ impl<R: BufRead> TraceLoader<R> {
             chunk_size,
             rows_yielded: 0,
             previous_submit_secs: None,
-            seen_job_ids: std::collections::HashSet::new(),
+            seen_job_ids: std::collections::HashSet::with_hasher(SplitmixHash),
             done: false,
         })
     }
@@ -584,8 +588,52 @@ pub struct TraceStream<R> {
     chunk_size: u32,
     rows_yielded: u64,
     previous_submit_secs: Option<f64>,
-    seen_job_ids: std::collections::HashSet<u64>,
+    seen_job_ids: std::collections::HashSet<u64, SplitmixHash>,
     done: bool,
+}
+
+/// Splitmix64-finalizer hasher for the per-stream job-id set: ids are
+/// already high-entropy integers, so a SipHash round per row is pure
+/// overhead on the replay path.
+#[derive(Debug, Default, Clone, Copy)]
+struct SplitmixHash;
+
+impl std::hash::BuildHasher for SplitmixHash {
+    type Hasher = SplitmixHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> SplitmixHasher {
+        SplitmixHasher { state: 0 }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SplitmixHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for SplitmixHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        let mut x = (self.state ^ value).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.state = x ^ (x >> 31);
+    }
 }
 
 impl<R: BufRead> TraceStream<R> {
@@ -593,7 +641,7 @@ impl<R: BufRead> TraceStream<R> {
     /// `Ok(None)` is a clean end of file.
     fn next_spec(&mut self) -> Result<Option<JobSpec>, TraceParseError> {
         let loader = &mut self.loader;
-        let text = match read_line(&mut loader.reader, &mut loader.line)? {
+        let text = match read_line(&mut loader.reader, &mut loader.line, &mut loader.buf)? {
             Some(text) => text,
             None => {
                 if let Some(declared) = loader.header.jobs {
@@ -616,7 +664,7 @@ impl<R: BufRead> TraceStream<R> {
                 });
             }
         }
-        let spec = parse_row(&text, loader.line, &loader.columns, &loader.header)?;
+        let spec = parse_row(text, loader.line, &loader.columns, &loader.header)?;
         let submit_secs = spec.submit_time.as_secs();
         if let Some(previous) = self.previous_submit_secs {
             if submit_secs < previous {
@@ -646,7 +694,7 @@ impl<R: BufRead> Iterator for TraceStream<R> {
         if self.done {
             return None;
         }
-        let mut chunk = Vec::new();
+        let mut chunk = Vec::with_capacity(self.chunk_size.min(1 << 16) as usize);
         while (chunk.len() as u32) < self.chunk_size {
             match self.next_spec() {
                 Ok(Some(spec)) => chunk.push(spec),
@@ -668,17 +716,19 @@ impl<R: BufRead> Iterator for TraceStream<R> {
     }
 }
 
-/// Reads the next non-blank line, advancing the 1-based line counter across
-/// skipped blanks. `Ok(None)` is end of file.
-fn read_line<R: BufRead>(
+/// Reads the next non-blank line into the reused `buffer`, advancing the
+/// 1-based line counter across skipped blanks, and returns the trimmed
+/// slice. `Ok(None)` is end of file. Reusing one caller-owned buffer keeps
+/// the row loop allocation-free.
+fn read_line<'a, R: BufRead>(
     reader: &mut R,
     line: &mut usize,
-) -> Result<Option<String>, TraceParseError> {
-    let mut buffer = String::new();
+    buffer: &'a mut String,
+) -> Result<Option<&'a str>, TraceParseError> {
     loop {
         buffer.clear();
         let read = reader
-            .read_line(&mut buffer)
+            .read_line(buffer)
             .map_err(|err| TraceParseError::Io {
                 line: *line + 1,
                 message: err.to_string(),
@@ -687,11 +737,11 @@ fn read_line<R: BufRead>(
             return Ok(None);
         }
         *line += 1;
-        let trimmed = buffer.trim();
-        if !trimmed.is_empty() {
-            return Ok(Some(trimmed.to_string()));
+        if !buffer.trim().is_empty() {
+            break;
         }
     }
+    Ok(Some(buffer.trim()))
 }
 
 /// Parses and validates header line 1.
@@ -807,15 +857,24 @@ fn parse_row(
     columns: &Columns,
     header: &TraceHeader,
 ) -> Result<JobSpec, TraceParseError> {
-    let fields: Vec<&str> = text.split(',').map(str::trim).collect();
-    if fields.len() != columns.count {
+    // A validated column header has at most the 6 core + 4 extended
+    // columns (`parse_columns` rejects unknowns and duplicates), so a row's
+    // fields fit a fixed array — no per-row allocation.
+    let mut fields: [&str; 10] = [""; 10];
+    let mut field_count = 0usize;
+    for field in text.split(',') {
+        if field_count < fields.len() {
+            fields[field_count] = field.trim();
+        }
+        field_count += 1;
+    }
+    if field_count != columns.count {
         return Err(TraceParseError::Field {
             line,
-            column: fields.len().min(columns.count),
+            column: field_count.min(columns.count),
             name: "(row)".into(),
             message: format!(
-                "row has {} fields, the column header declares {}",
-                fields.len(),
+                "row has {field_count} fields, the column header declares {}",
                 columns.count
             ),
         });

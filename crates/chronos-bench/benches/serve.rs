@@ -1,0 +1,102 @@
+//! Criterion bench for the `chronos-serve` admission-control planning
+//! server: end-to-end submit→decide→respond throughput and scaling across
+//! worker counts, on the shared sharded-benchmark workload (the same job
+//! stream the `throughput` bench and `bench_baseline` measure).
+//!
+//! Setting `CHRONOS_BENCH_SMOKE=1` shrinks the workload and takes a single
+//! sample — the CI `bench-smoke` job uses this to catch panics and API rot
+//! without paying real measurement time on shared runners.
+
+use chronos_bench::sharded_bench_stream;
+use chronos_serve::prelude::*;
+use chronos_sim::prelude::JobSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn smoke() -> bool {
+    std::env::var_os("CHRONOS_BENCH_SMOKE").is_some()
+}
+
+/// The flattened job list of the shared benchmark workload.
+fn serve_jobs(jobs: u32) -> Vec<JobSpec> {
+    sharded_bench_stream(jobs).flatten().collect()
+}
+
+/// One full serve pass: start, submit everything (retrying on overload,
+/// the caller-side backpressure contract), drain, shut down. Returns the
+/// decisions digest so the bench can assert run-to-run determinism.
+fn serve_pass(jobs: &[JobSpec], workers: u32, queue_capacity: usize) -> String {
+    let server =
+        PlanServer::start(ServeConfig::new(workers, queue_capacity)).expect("valid serve config");
+    let submit_batch = (queue_capacity / 2).max(1);
+    let mut tickets = Vec::with_capacity(jobs.len() / submit_batch + 1);
+    let mut next_id = 0u64;
+    for chunk in jobs.chunks(submit_batch) {
+        let mut batch: Vec<ServeRequest> = chunk
+            .iter()
+            .map(|job| {
+                let request = ServeRequest {
+                    request_id: next_id,
+                    job: job.clone(),
+                };
+                next_id += 1;
+                request
+            })
+            .collect();
+        loop {
+            match server.submit(batch) {
+                Ok(ticket) => break tickets.push(ticket),
+                Err(rejected) => {
+                    batch = rejected.requests;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+    let responses: Vec<ServeResponse> = tickets
+        .into_iter()
+        .flat_map(|ticket| ticket.wait())
+        .collect();
+    let _ = server.shutdown();
+    decisions_digest(&responses)
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let job_count: u32 = if smoke() { 64 } else { 8_192 };
+    let jobs = serve_jobs(job_count);
+    let reference = serve_pass(&jobs, 1, 64);
+
+    // (The vendored criterion subset has no `Throughput`; requests/sec for
+    // this pass is recorded by the `serve/workers-8` bench_baseline entry.)
+    let mut group = c.benchmark_group(format!("serve-{job_count}-jobs"));
+    if smoke() {
+        group.sample_size(1);
+        group.measurement_time(Duration::from_millis(1));
+    }
+    for workers in [1u32, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let digest = serve_pass(&jobs, workers, 64);
+                    // Decisions are deterministic across worker counts; a
+                    // drifted digest means the admission logic raced.
+                    assert_eq!(digest, reference);
+                    digest
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(10);
+    targets = bench_serve
+);
+criterion_main!(benches);

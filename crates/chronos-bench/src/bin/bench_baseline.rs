@@ -32,12 +32,22 @@
 //! from a `chronos-trace` file and must merge to the identical report), and
 //! a missing, unparseable or schema/workload-mismatched snapshot — the
 //! signals CI's `bench-smoke` step exists to catch.
+//!
+//! Schema v4 adds the required `serve` field: a [`ServeEntry`] for the
+//! `chronos-serve` admission-control server driving the same workload as
+//! an arrival stream (`serve/workers-8`, queue capacity 64). Its request
+//! count and decisions digest are integer-deterministic (the digest hashes
+//! no floats) and drift there is a **hard failure**; the feasible count is
+//! float-derived and loud-tolerated like PoCD; throughput and the latency
+//! quantiles (p50/p99/p999 in microseconds, against the recorded
+//! `p99_target_us` SLO of 100 µs) are informational timing.
 
 use chronos_bench::{
     replay_sharded_bench_trace, report_digest, sharded_bench_config, sharded_bench_stream,
     write_sharded_bench_trace, SHARDED_BENCH_SEED, SHARDED_BENCH_SHARDS,
     SHARDED_BENCH_TASKS_PER_JOB,
 };
+use chronos_serve::prelude::*;
 use chronos_sim::prelude::*;
 use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
@@ -111,15 +121,52 @@ struct PlanCacheEntry {
     events_per_sec: f64,
 }
 
+/// The serving-path entry: the same workload driven through the
+/// `chronos-serve` admission-control server as an arrival stream. Its
+/// deterministic fields are the request count and the decisions digest
+/// (FNV over the integer-only decision fields — request ids, feasibility
+/// bits, strategy indices, copy counts — so it is safe to hard-check
+/// across hosts, unlike the float-carrying report digests). The latency
+/// quantiles come from the merged per-worker [`LatencyHistogram`]s of the
+/// fastest sample and are informational, tracked against the recorded
+/// `p99_target_us` SLO.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeEntry {
+    /// Configuration label, `serve/workers-8`.
+    name: String,
+    workers: u32,
+    queue_capacity: usize,
+    // -- deterministic fields (hard-checked) --
+    requests: u64,
+    decisions_digest: String,
+    // -- deterministic on one host, float-derived (loud-tolerated) --
+    feasible: u64,
+    // -- timing fields (informational) --
+    /// Submissions bounced by backpressure before eventually being
+    /// accepted; purely load-dependent.
+    rejected: u64,
+    wall_ms: f64,
+    requests_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    /// Whether any decision landed in the histogram overflow bucket
+    /// (≥ 2^38 µs) — the quantiles above are clamped if so.
+    saturated: bool,
+    /// The serving SLO this entry tracks: p99 decision latency, µs.
+    p99_target_us: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Baseline {
     schema_version: u32,
     workload: WorkloadMeta,
     entries: Vec<BaselineEntry>,
     plan_cache: PlanCacheEntry,
+    serve: ServeEntry,
 }
 
-const SCHEMA_VERSION: u32 = 3;
+const SCHEMA_VERSION: u32 = 4;
 
 fn workload_meta() -> WorkloadMeta {
     WorkloadMeta {
@@ -264,6 +311,89 @@ fn run_plan_cache_config(workers: u32, reference: &SimulationReport) -> PlanCach
     }
 }
 
+/// Times the serving path: the benchmark workload's jobs submitted to a
+/// live `PlanServer` as an arrival stream (batched to half the queue,
+/// retrying on backpressure), every decision awaited, the server drained.
+/// Every sample's decisions digest is asserted identical — the server's
+/// worker pool must not make the admission decisions scheduling-dependent
+/// — and the recorded timing/latency figures come from the fastest sample.
+fn run_serve_config(workers: u32, queue_capacity: usize) -> ServeEntry {
+    let jobs: Vec<JobSpec> = sharded_bench_stream(JOBS).flatten().collect();
+    let submit_batch = (queue_capacity / 2).max(1);
+    let sample = || {
+        let server = PlanServer::start(ServeConfig::new(workers, queue_capacity))
+            .expect("valid serve config");
+        let start = Instant::now();
+        let mut tickets = Vec::with_capacity(jobs.len() / submit_batch + 1);
+        let mut next_id = 0u64;
+        for chunk in jobs.chunks(submit_batch) {
+            let mut batch: Vec<ServeRequest> = chunk
+                .iter()
+                .map(|job| {
+                    let request = ServeRequest {
+                        request_id: next_id,
+                        job: job.clone(),
+                    };
+                    next_id += 1;
+                    request
+                })
+                .collect();
+            loop {
+                match server.submit(batch) {
+                    Ok(ticket) => break tickets.push(ticket),
+                    Err(rejected) => {
+                        batch = rejected.requests;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let mut responses: Vec<ServeResponse> = tickets
+            .into_iter()
+            .flat_map(|ticket| ticket.wait())
+            .collect();
+        let wall = start.elapsed();
+        let stats = server.shutdown();
+        responses.sort_unstable_by_key(|response| response.request_id);
+        (wall, responses, stats)
+    };
+    let (mut wall, responses, mut stats) = sample();
+    let digest = decisions_digest(&responses);
+    for _ in 1..TIMING_SAMPLES {
+        let (rerun_wall, rerun_responses, rerun_stats) = sample();
+        assert_eq!(
+            digest,
+            decisions_digest(&rerun_responses),
+            "serve determinism violated: decisions drifted across samples at {workers} workers"
+        );
+        if rerun_wall < wall {
+            wall = rerun_wall;
+            stats = rerun_stats;
+        }
+    }
+    let feasible = responses
+        .iter()
+        .filter(|response| response.decision.feasible)
+        .count() as u64;
+    let quantile = |q: f64| stats.latency.quantile_upper_bound(q).unwrap_or(0.0);
+    ServeEntry {
+        name: format!("serve/workers-{workers}"),
+        workers,
+        queue_capacity,
+        requests: responses.len() as u64,
+        decisions_digest: digest,
+        feasible,
+        rejected: stats.rejected,
+        wall_ms: wall.as_secs_f64() * 1_000.0,
+        requests_per_sec: responses.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: quantile(0.50),
+        p99_us: quantile(0.99),
+        p999_us: quantile(0.999),
+        saturated: stats.latency.saturated(),
+        p99_target_us: 100.0,
+    }
+}
+
 /// Runs every baseline configuration, asserting the worker-count,
 /// on-disk round-trip and planner determinism invariants along the way (a
 /// panic here is a regression the CI smoke step must catch).
@@ -286,12 +416,14 @@ fn measure() -> Baseline {
         "trace round-trip determinism violated: file replay differs from the in-memory run"
     );
     let plan_cache = run_plan_cache_config(4, &resume_4_report);
+    let serve = run_serve_config(8, 64);
 
     Baseline {
         schema_version: SCHEMA_VERSION,
         workload: workload_meta(),
         entries: vec![ns_1, ns_4, resume_4, replay_4],
         plan_cache,
+        serve,
     }
 }
 
@@ -328,6 +460,17 @@ fn record(current: &Baseline) {
         plan.distinct_profiles,
         plan.jobs,
         100.0 * plan.hit_rate,
+    );
+    let serve = &current.serve;
+    println!(
+        "  {:<24} {:>10.1} ms  {:>12.0} req/s     (p50 {:.0} us, p99 {:.0} us vs {:.0} us target, digest {})",
+        serve.name,
+        serve.wall_ms,
+        serve.requests_per_sec,
+        serve.p50_us,
+        serve.p99_us,
+        serve.p99_target_us,
+        serve.decisions_digest,
     );
 }
 
@@ -474,6 +617,55 @@ fn check(current: &Baseline) -> Result<(), String> {
         "  {:<24} {:>10.1} ms (baseline {:>10.1} ms, x{:.2})",
         current_plan.name, current_plan.wall_ms, stored_plan.wall_ms, plan_ratio
     );
+
+    // The serve entry: its integer-deterministic fields carry no floats
+    // (the decisions digest hashes request ids, feasibility bits, strategy
+    // indices and copy counts only), so unlike the report-level fields they
+    // are safe to hard-check across hosts — drift means the admission
+    // decisions themselves changed. The feasible count *is* float-derived
+    // (a utility comparison decides it), so it follows the loud-tolerate
+    // rule; latency and throughput are informational like all timing.
+    let (stored_serve, current_serve) = (&stored.serve, &current.serve);
+    if stored_serve.name != current_serve.name {
+        return Err(format!(
+            "serve entry changed: stored {} vs current {}; re-record",
+            stored_serve.name, current_serve.name
+        ));
+    }
+    if stored_serve.requests != current_serve.requests
+        || stored_serve.decisions_digest != current_serve.decisions_digest
+    {
+        return Err(format!(
+            "{}: admission decisions drifted: stored {} requests digest {}, \
+             current {} requests digest {}; the serving path's decisions \
+             changed — review the change, then re-record",
+            stored_serve.name,
+            stored_serve.requests,
+            stored_serve.decisions_digest,
+            current_serve.requests,
+            current_serve.decisions_digest,
+        ));
+    }
+    if stored_serve.feasible != current_serve.feasible {
+        drifted += 1;
+        println!(
+            "  {}: snapshot drift\n    stored:  feasible={}\n    current: feasible={}\n    same-host drift means admission feasibility changed — re-record and\n    review; cross-host drift (different libm) is expected noise.",
+            stored_serve.name, stored_serve.feasible, current_serve.feasible,
+        );
+    }
+    let serve_ratio = current_serve.wall_ms / stored_serve.wall_ms.max(1e-9);
+    println!(
+        "  {:<24} {:>10.1} ms (baseline {:>10.1} ms, x{:.2})  p99 {:.0} us (target {:.0} us)",
+        current_serve.name,
+        current_serve.wall_ms,
+        stored_serve.wall_ms,
+        serve_ratio,
+        current_serve.p99_us,
+        current_serve.p99_target_us,
+    );
+    if current_serve.p99_us > current_serve.p99_target_us {
+        println!("    note: p99 above the recorded SLO target; not a failure, but worth a look");
+    }
 
     if drifted > 0 {
         println!(

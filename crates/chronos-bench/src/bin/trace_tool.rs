@@ -14,8 +14,18 @@
 //! trace_tool convert  IN OUT --format google-2011 [--deadline-factor F] [--chunk-size C]
 //! trace_tool replay --trace trace.csv   [--policy P] [--workers W] [--chunk-size C] [--out report.json]
 //! trace_tool replay --jobs N --seed S   [--policy P] [--workers W] [--chunk-size C] [--out report.json]
+//! trace_tool serve-replay --trace trace.csv [--workers W] [--queue-capacity Q] [--chunk-size C]
 //! trace_tool stats  --trace trace.csv   [--chunk-size C]
 //! ```
+//!
+//! `serve-replay` feeds the trace's jobs through the `chronos-serve`
+//! admission-control planning server as an arrival stream and prints the
+//! deterministic decision count/digest (what CI's `serve-smoke` job pins)
+//! plus informational wall-clock latency quantiles.
+//!
+//! Count-valued flags (`--workers`, `--chunk-size`, `--queue-capacity`)
+//! reject `0` with a usage error naming the flag: a zero would mean "no
+//! worker ever drains" or "no chunk ever forms", never a sensible request.
 //!
 //! `convert` ingests a foreign trace file (currently the 2011 Google
 //! cluster-trace `task_events` CSV schema — see `chronos_trace::convert`)
@@ -39,6 +49,7 @@
 //! distinct-profile census of a trace — the ceiling on that cache's hit
 //! rate — so the planner benefit can be predicted without replaying.
 
+use chronos_serve::prelude::*;
 use chronos_sim::prelude::*;
 use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
@@ -60,6 +71,7 @@ fn usage() -> ExitCode {
          trace_tool convert IN OUT --format F [--deadline-factor D] [--chunk-size C]\n  \
          trace_tool replay --trace PATH [--policy P] [--workers W] [--chunk-size C] [--out PATH]\n  \
          trace_tool replay --jobs N --seed S [--policy P] [--workers W] [--chunk-size C] [--out PATH]\n  \
+         trace_tool serve-replay --trace PATH [--workers W] [--queue-capacity Q] [--chunk-size C]\n  \
          trace_tool stats --trace PATH [--chunk-size C]\n\n  \
          policies: hadoop-ns (default), hadoop-s, mantri, clone, s-restart, s-resume\n  \
          foreign formats: {}",
@@ -101,6 +113,17 @@ fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Optio
     }
 }
 
+/// Like [`flag_value`] for count-valued flags that must be at least 1:
+/// `0` is rejected with a typed usage error naming the flag. Returns
+/// `default` when the flag is absent.
+fn nonzero_flag_value(args: &[String], flag: &str, default: u32) -> Result<u32, String> {
+    let value: u32 = flag_value(args, flag)?.unwrap_or(default);
+    if value == 0 {
+        return Err(format!("{flag}: must be at least 1, got 0"));
+    }
+    Ok(value)
+}
+
 /// The simulator configuration of both replay forms: the trace-driven
 /// datacenter-scale pool of Figures 3–5, sharded with `workers` threads.
 fn replay_config(workers: u32) -> SimConfig {
@@ -119,7 +142,7 @@ fn generate(args: &[String]) -> Result<(), String> {
     let jobs: u32 = flag_value(args, "--jobs")?.ok_or("generate needs --jobs")?;
     let seed: u64 = flag_value(args, "--seed")?.ok_or("generate needs --seed")?;
     let out: PathBuf = flag_value(args, "--out")?.ok_or("generate needs --out")?;
-    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
+    let chunk_size = nonzero_flag_value(args, "--chunk-size", DEFAULT_CHUNK_SIZE)?;
 
     let stream = GoogleTraceConfig::scaled(jobs, seed)
         .stream(chunk_size)
@@ -159,8 +182,8 @@ fn write_report(report: &SimulationReport, out: Option<&Path>) -> Result<(), Str
 }
 
 fn replay(args: &[String]) -> Result<(), String> {
-    let workers: u32 = flag_value(args, "--workers")?.unwrap_or(4);
-    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
+    let workers = nonzero_flag_value(args, "--workers", 4)?;
+    let chunk_size = nonzero_flag_value(args, "--chunk-size", DEFAULT_CHUNK_SIZE)?;
     let out: Option<PathBuf> = flag_value(args, "--out")?;
     let trace: Option<PathBuf> = flag_value(args, "--trace")?;
     let policy_label: String =
@@ -219,6 +242,92 @@ fn replay(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Feeds a trace's jobs through the `chronos-serve` admission-control
+/// planning server as an arrival stream: every job becomes one
+/// [`ServeRequest`], submitted in small batches with a retry-on-overload
+/// loop (the server rejects rather than queues past its capacity).
+///
+/// The decision count and [`decisions_digest`] printed here are
+/// deterministic — a pure function of the trace and the policy config,
+/// independent of `--workers` and `--queue-capacity` — which is what CI's
+/// `serve-smoke` job pins. The latency quantiles are wall-clock and
+/// informational only.
+fn serve_replay(args: &[String]) -> Result<(), String> {
+    let trace: PathBuf = flag_value(args, "--trace")?.ok_or("serve-replay needs --trace")?;
+    let workers = nonzero_flag_value(args, "--workers", 4)?;
+    let queue_capacity = nonzero_flag_value(args, "--queue-capacity", 64)? as usize;
+    let chunk_size = nonzero_flag_value(args, "--chunk-size", DEFAULT_CHUNK_SIZE)?;
+
+    let stream = TraceLoader::open(&trace)
+        .map_err(|err| format!("opening {}: {err}", trace.display()))?
+        .stream(chunk_size)
+        .map_err(|err| err.to_string())?;
+    let mut jobs: Vec<JobSpec> = Vec::new();
+    for chunk in stream {
+        jobs.extend(chunk.map_err(|err| format!("parsing {}: {err}", trace.display()))?);
+    }
+
+    let server = PlanServer::start(ServeConfig::new(workers, queue_capacity))
+        .map_err(|err| format!("starting server: {err}"))?;
+    // Submit in batches of at most half the queue so two submitters'
+    // worth of work fits; retry on Overloaded — backpressure is the
+    // server's contract, the overload policy is ours.
+    let submit_batch = (queue_capacity / 2).max(1);
+    let mut tickets = Vec::new();
+    for (batch_index, batch_jobs) in jobs.chunks(submit_batch).enumerate() {
+        let mut batch: Vec<ServeRequest> = batch_jobs
+            .iter()
+            .enumerate()
+            .map(|(offset, job)| ServeRequest {
+                request_id: (batch_index * submit_batch + offset) as u64,
+                job: job.clone(),
+            })
+            .collect();
+        loop {
+            match server.submit(batch) {
+                Ok(ticket) => break tickets.push(ticket),
+                Err(rejected) => match rejected.error {
+                    ServeError::Overloaded { .. } => {
+                        batch = rejected.requests;
+                        std::thread::yield_now();
+                    }
+                    other => return Err(format!("submitting batch: {other}")),
+                },
+            }
+        }
+    }
+    let mut responses: Vec<ServeResponse> = tickets
+        .into_iter()
+        .flat_map(|ticket| ticket.wait())
+        .collect();
+    let stats = server.shutdown();
+    responses.sort_unstable_by_key(|response| response.request_id);
+
+    let feasible = responses
+        .iter()
+        .filter(|response| response.decision.feasible)
+        .count();
+    println!(
+        "planned {} jobs at {workers} workers ({feasible} feasible)",
+        responses.len()
+    );
+    println!("decisions digest: {}", decisions_digest(&responses));
+    let quantile = |q: f64| {
+        stats
+            .latency
+            .quantile_upper_bound(q)
+            .map_or_else(|| "n/a".to_string(), |us| format!("{us:.0} us"))
+    };
+    println!(
+        "latency (informational): p50 <= {}, p99 <= {}, saturated: {}",
+        quantile(0.5),
+        quantile(0.99),
+        stats.latency.saturated()
+    );
+    println!("plan cache: {}", stats.cache);
+    Ok(())
+}
+
 /// Streams `trace` through a [`ProfileCensus`] and prints the summary —
 /// the shared back end of `stats` and the post-conversion report.
 fn print_census(trace: &Path, chunk_size: u32) -> Result<(), String> {
@@ -246,7 +355,7 @@ fn print_census(trace: &Path, chunk_size: u32) -> Result<(), String> {
 
 fn stats(args: &[String]) -> Result<(), String> {
     let trace: PathBuf = flag_value(args, "--trace")?.ok_or("stats needs --trace")?;
-    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
+    let chunk_size = nonzero_flag_value(args, "--chunk-size", DEFAULT_CHUNK_SIZE)?;
     print_census(&trace, chunk_size)
 }
 
@@ -258,7 +367,7 @@ fn convert(args: &[String]) -> Result<(), String> {
         )
     })?;
     let deadline_factor: Option<f64> = flag_value(args, "--deadline-factor")?;
-    let chunk_size: u32 = flag_value(args, "--chunk-size")?.unwrap_or(DEFAULT_CHUNK_SIZE);
+    let chunk_size = nonzero_flag_value(args, "--chunk-size", DEFAULT_CHUNK_SIZE)?;
     let positional = positionals(args, &["--format", "--deadline-factor", "--chunk-size"]);
     let [input, output] = positional.as_slice() else {
         return Err(format!(
@@ -316,6 +425,7 @@ fn main() -> ExitCode {
         Some("generate") => generate(&args[2..]),
         Some("convert") => convert(&args[2..]),
         Some("replay") => replay(&args[2..]),
+        Some("serve-replay") => serve_replay(&args[2..]),
         Some("stats") => stats(&args[2..]),
         _ => return usage(),
     };

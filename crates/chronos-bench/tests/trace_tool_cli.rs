@@ -1,0 +1,127 @@
+//! CLI contract of `trace_tool`: count-valued flags reject `0` with a
+//! typed usage error naming the flag, on every subcommand that accepts
+//! them. These used to be silently accepted — `--chunk-size 0` made the
+//! loader produce no chunks (a replay over zero jobs) and `--workers 0`
+//! built a runner no worker ever drained — so each case here is a
+//! regression test against reverting to the permissive parse.
+//!
+//! The happy-path case doubles as an offline copy of CI's `serve-smoke`
+//! job: `serve-replay` over the checked-in converted Google-2011 trace
+//! prints the pinned deterministic decision count and digest.
+
+use std::process::{Command, Output};
+
+const TRACE_TOOL: &str = env!("CARGO_BIN_EXE_trace_tool");
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/google2011_converted.trace"
+);
+
+fn run(args: &[&str]) -> Output {
+    Command::new(TRACE_TOOL)
+        .args(args)
+        .output()
+        .expect("trace_tool spawns")
+}
+
+/// Asserts the invocation fails with the typed zero-value usage error
+/// naming exactly `flag`.
+fn assert_rejects_zero(args: &[&str], flag: &str) {
+    let output = run(args);
+    assert!(
+        !output.status.success(),
+        "{args:?} should fail, stdout: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    let expected = format!("{flag}: must be at least 1, got 0");
+    assert!(
+        stderr.contains(&expected),
+        "{args:?} stderr should name {flag}: {stderr}"
+    );
+}
+
+#[test]
+fn replay_rejects_zero_workers_and_zero_chunk_size() {
+    assert_rejects_zero(
+        &["replay", "--trace", GOLDEN, "--workers", "0"],
+        "--workers",
+    );
+    assert_rejects_zero(
+        &["replay", "--trace", GOLDEN, "--chunk-size", "0"],
+        "--chunk-size",
+    );
+}
+
+#[test]
+fn serve_replay_rejects_zero_count_flags() {
+    assert_rejects_zero(
+        &["serve-replay", "--trace", GOLDEN, "--workers", "0"],
+        "--workers",
+    );
+    assert_rejects_zero(
+        &["serve-replay", "--trace", GOLDEN, "--queue-capacity", "0"],
+        "--queue-capacity",
+    );
+    assert_rejects_zero(
+        &["serve-replay", "--trace", GOLDEN, "--chunk-size", "0"],
+        "--chunk-size",
+    );
+}
+
+#[test]
+fn generate_convert_and_stats_reject_zero_chunk_size() {
+    // generate validates --chunk-size before touching --out, so no file is
+    // ever created at this placeholder path.
+    assert_rejects_zero(
+        &[
+            "generate",
+            "--jobs",
+            "4",
+            "--seed",
+            "1",
+            "--out",
+            "unused.csv",
+            "--chunk-size",
+            "0",
+        ],
+        "--chunk-size",
+    );
+    assert_rejects_zero(
+        &[
+            "convert",
+            "--format",
+            "google-2011",
+            "--chunk-size",
+            "0",
+            "in.csv",
+            "out.csv",
+        ],
+        "--chunk-size",
+    );
+    assert_rejects_zero(
+        &["stats", "--trace", GOLDEN, "--chunk-size", "0"],
+        "--chunk-size",
+    );
+}
+
+#[test]
+fn serve_replay_prints_the_pinned_decision_count_and_digest() {
+    let output = run(&["serve-replay", "--trace", GOLDEN, "--workers", "8"]);
+    assert!(
+        output.status.success(),
+        "serve-replay failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The same pins CI's serve-smoke job greps for; the digest literal is
+    // shared with tests/serve_replay.rs.
+    assert!(
+        stdout.contains("planned 7 jobs at 8 workers (7 feasible)"),
+        "unexpected serve-replay output: {stdout}"
+    );
+    assert!(
+        stdout.contains("decisions digest: 3969606c572cc471"),
+        "unexpected serve-replay digest: {stdout}"
+    );
+}

@@ -27,13 +27,55 @@ use crate::key::ProfileKey;
 use crate::planner::PlanResult;
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A single-flight entry: solved at most once, shared by all requesters.
 type Slot = Arc<OnceLock<PlanResult>>;
+
+/// A resident entry plus its second-chance reference bit.
+#[derive(Debug)]
+struct Resident {
+    slot: Slot,
+    /// Set on every hit, cleared (once) by the eviction scan: an entry hit
+    /// since the scan last passed it survives one more round.
+    referenced: bool,
+}
+
+/// One lock stripe: the entry map plus the FIFO scan order the
+/// second-chance eviction walks. `order` contains exactly the resident
+/// keys, oldest insertion first.
+#[derive(Debug, Default)]
+struct Stripe {
+    map: HashMap<ProfileKey, Resident>,
+    order: VecDeque<ProfileKey>,
+}
+
+impl Stripe {
+    /// Evicts one entry by the clock/second-chance rule: walk the FIFO
+    /// order from the front, give each referenced entry one more round
+    /// (clear its bit, requeue it), evict the first unreferenced one. The
+    /// walk terminates: each requeue clears a bit, so after at most one
+    /// full lap some entry is unreferenced.
+    fn evict_one(&mut self) {
+        while let Some(candidate) = self.order.pop_front() {
+            let resident = self
+                .map
+                .get_mut(&candidate)
+                .expect("order contains exactly the resident keys");
+            if resident.referenced {
+                resident.referenced = false;
+                self.order.push_back(candidate);
+            } else {
+                self.map.remove(&candidate);
+                return;
+            }
+        }
+        unreachable!("evict_one is only called on a non-empty stripe");
+    }
+}
 
 /// Snapshot of a [`PlanCache`]'s counters.
 ///
@@ -132,7 +174,7 @@ impl std::fmt::Display for CacheStats {
 /// ```
 #[derive(Debug)]
 pub struct PlanCache {
-    stripes: Vec<Mutex<HashMap<ProfileKey, Slot>>>,
+    stripes: Vec<Mutex<Stripe>>,
     /// Maximum entries per stripe (`None` = unbounded, the default).
     stripe_capacity: Option<usize>,
     hits: AtomicU64,
@@ -156,7 +198,9 @@ impl PlanCache {
     pub fn with_stripes(stripes: usize) -> Self {
         let stripes = stripes.max(1);
         PlanCache {
-            stripes: (0..stripes).map(|_| Mutex::new(HashMap::new())).collect(),
+            stripes: (0..stripes)
+                .map(|_| Mutex::new(Stripe::default()))
+                .collect(),
             stripe_capacity: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -165,11 +209,18 @@ impl PlanCache {
     }
 
     /// Bounds the cache to roughly `capacity` entries (split evenly across
-    /// stripes, at least one per stripe). When a stripe is full, the
-    /// resident entry with the smallest key is evicted to make room (a
-    /// deterministic choice, so single-threaded workloads replay their
-    /// eviction sequence exactly); the `evictions` counter records each
-    /// removal. Note that under eviction the hit/miss counts of a
+    /// stripes, at least one per stripe). When a stripe is full, an entry
+    /// is evicted by a **clock/second-chance** policy: eviction scans the
+    /// stripe's insertion-order FIFO, skips (once) every entry hit since
+    /// the scan last passed it, and removes the first entry that was not.
+    /// Hot profiles therefore stay resident under skewed request streams —
+    /// unlike the earlier smallest-key victim choice, which evicted an
+    /// arbitrary resident and could thrash on precisely the profiles a
+    /// skewed stream re-requests. The choice is still deterministic (it
+    /// depends only on the stripe's hit/insert sequence, never on the
+    /// map's per-process hash seed), so single-threaded workloads replay
+    /// their eviction sequence exactly; the `evictions` counter records
+    /// each removal. Note that under eviction the hit/miss counts of a
     /// *concurrent* workload are no longer scheduling-independent —
     /// production replays should size the capacity above the distinct
     /// profile count (or leave it unbounded, the default).
@@ -186,11 +237,11 @@ impl PlanCache {
         Arc::new(PlanCache::new())
     }
 
-    fn stripe_of(&self, key: &ProfileKey) -> &Mutex<HashMap<ProfileKey, Slot>> {
+    fn stripe_of(&self, key: &ProfileKey) -> &Mutex<Stripe> {
         // DefaultHasher with default keys is deterministic, so the stripe
         // layout does not change from run to run. (The stripe *maps* still
         // use HashMap's per-process random state, which is why eviction
-        // picks its victim by key order below, not iteration order.)
+        // scans the explicit insertion-order FIFO, never iteration order.)
         let mut hasher = DefaultHasher::new();
         key.hash(&mut hasher);
         let index = (hasher.finish() % self.stripes.len() as u64) as usize;
@@ -213,28 +264,33 @@ impl PlanCache {
         F: FnOnce() -> PlanResult,
     {
         let slot = {
-            let mut map = self
+            let mut stripe = self
                 .stripe_of(&key)
                 .lock()
                 .expect("plan cache stripe poisoned");
-            if let Some(slot) = map.get(&key) {
+            if let Some(resident) = stripe.map.get_mut(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Arc::clone(slot)
+                // Second-chance bookkeeping: a hit marks the entry so the
+                // next eviction scan spares it once.
+                resident.referenced = true;
+                Arc::clone(&resident.slot)
             } else {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 if let Some(capacity) = self.stripe_capacity {
-                    while map.len() >= capacity {
-                        // Smallest key, not HashMap iteration order: the
-                        // victim choice must not depend on the map's
-                        // per-process hash seed, or identical runs would
-                        // diverge in their post-eviction counters.
-                        let victim = *map.keys().min().expect("stripe at capacity is non-empty");
-                        map.remove(&victim);
+                    while stripe.map.len() >= capacity {
+                        stripe.evict_one();
                         self.evictions.fetch_add(1, Ordering::Relaxed);
                     }
                 }
                 let slot: Slot = Arc::new(OnceLock::new());
-                map.insert(key, Arc::clone(&slot));
+                stripe.map.insert(
+                    key,
+                    Resident {
+                        slot: Arc::clone(&slot),
+                        referenced: false,
+                    },
+                );
+                stripe.order.push_back(key);
                 slot
             }
         };
@@ -243,14 +299,18 @@ impl PlanCache {
 
     /// The already-memoized result for `key`, if any (never solves; an
     /// in-flight entry reads as absent). Does not touch the hit/miss
-    /// counters — this is an inspection API, not a lookup.
+    /// counters **or the entry's eviction recency** — this is an
+    /// inspection API, not a lookup.
     #[must_use]
     pub fn peek(&self, key: &ProfileKey) -> Option<PlanResult> {
-        let map = self
+        let stripe = self
             .stripe_of(key)
             .lock()
             .expect("plan cache stripe poisoned");
-        map.get(key).and_then(|slot| slot.get().cloned())
+        stripe
+            .map
+            .get(key)
+            .and_then(|resident| resident.slot.get().cloned())
     }
 
     /// Number of resident entries (including in-flight ones).
@@ -258,7 +318,7 @@ impl PlanCache {
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|stripe| stripe.lock().expect("plan cache stripe poisoned").len())
+            .map(|stripe| stripe.lock().expect("plan cache stripe poisoned").map.len())
             .sum()
     }
 
@@ -275,7 +335,9 @@ impl PlanCache {
     /// saturate to zero).
     pub fn clear(&self) {
         for stripe in &self.stripes {
-            stripe.lock().expect("plan cache stripe poisoned").clear();
+            let mut stripe = stripe.lock().expect("plan cache stripe poisoned");
+            stripe.map.clear();
+            stripe.order.clear();
         }
     }
 
@@ -375,8 +437,11 @@ mod tests {
     }
 
     #[test]
-    fn capacity_limit_evicts_smallest_key_deterministically() {
-        // One stripe so the capacity applies to a single map.
+    fn capacity_limit_evicts_fifo_when_nothing_is_rehit() {
+        // One stripe so the capacity applies to a single map. With no
+        // re-hits, no entry earns a second chance and the clock policy
+        // degenerates to insertion-order FIFO — deterministically, never an
+        // artifact of the map's per-process iteration order.
         let cache = PlanCache::with_stripes(1).with_capacity_limit(2);
         for (index, deadline) in [100.0, 110.0, 120.0, 130.0].iter().enumerate() {
             cache
@@ -387,13 +452,71 @@ mod tests {
         assert_eq!(stats.misses, 4);
         assert_eq!(stats.evictions, 2);
         assert_eq!(stats.entries, 2);
-        // The victim is always the smallest resident key (these keys order
-        // by deadline, all other fields being equal), never an artifact of
-        // the map's per-process iteration order: the two largest survive.
+        // The two oldest insertions were evicted; the two newest survive.
         assert!(cache.peek(&key(100.0)).is_none());
         assert!(cache.peek(&key(110.0)).is_none());
         assert!(cache.peek(&key(120.0)).is_some());
         assert!(cache.peek(&key(130.0)).is_some());
+    }
+
+    #[test]
+    fn eviction_spares_recently_hit_entries() {
+        // Regression: the old policy evicted the smallest resident *key* —
+        // an arbitrary victim that thrashed on skewed streams, evicting the
+        // hot profile (smallest key 100) here. Second chance must spare the
+        // entry that was hit and evict the cold one instead.
+        let cache = PlanCache::with_stripes(1).with_capacity_limit(2);
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        cache.get_or_compute(key(110.0), || plan(2)).unwrap();
+        // Re-hit the oldest (and smallest-keyed) entry: it is now hot.
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        // The insert that forces an eviction must victimize the cold 110.
+        cache.get_or_compute(key(120.0), || plan(3)).unwrap();
+        assert!(cache.peek(&key(100.0)).is_some(), "hot entry was evicted");
+        assert!(cache.peek(&key(110.0)).is_none());
+        assert!(cache.peek(&key(120.0)).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 3, 1));
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn eviction_grants_each_entry_one_second_chance_per_scan() {
+        // Every resident is hot: the scan clears each reference bit once,
+        // laps, and then evicts in FIFO order — it must terminate and pick
+        // the oldest insertion.
+        let cache = PlanCache::with_stripes(1).with_capacity_limit(2);
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        cache.get_or_compute(key(110.0), || plan(2)).unwrap();
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        cache.get_or_compute(key(110.0), || plan(2)).unwrap();
+        cache.get_or_compute(key(120.0), || plan(3)).unwrap();
+        assert!(cache.peek(&key(100.0)).is_none(), "oldest should go first");
+        assert!(cache.peek(&key(110.0)).is_some());
+        assert!(cache.peek(&key(120.0)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+
+        // The lap consumed 110's second chance; an untouched follow-up
+        // insert evicts it without another grace round.
+        cache.get_or_compute(key(130.0), || plan(4)).unwrap();
+        assert!(cache.peek(&key(110.0)).is_none());
+        assert!(cache.peek(&key(120.0)).is_some());
+        assert!(cache.peek(&key(130.0)).is_some());
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn peek_does_not_refresh_eviction_recency() {
+        // peek is an inspection API: it must not mark an entry referenced,
+        // or observability would perturb the eviction sequence.
+        let cache = PlanCache::with_stripes(1).with_capacity_limit(2);
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        cache.get_or_compute(key(110.0), || plan(2)).unwrap();
+        assert!(cache.peek(&key(100.0)).is_some());
+        cache.get_or_compute(key(120.0), || plan(3)).unwrap();
+        // Despite the peek, 100 (oldest, never re-hit) was the victim.
+        assert!(cache.peek(&key(100.0)).is_none());
+        assert!(cache.peek(&key(110.0)).is_some());
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! The bounded MPMC work queue under the planning server.
+//!
+//! Hand-rolled over `Mutex` + `Condvar` because the vendored-deps
+//! constraint rules out async runtimes and channel crates. The shape is
+//! deliberately simple:
+//!
+//! * **Producers never block.** [`BoundedQueue::try_push_all`] either
+//!   admits a whole batch or rejects it immediately with
+//!   [`PushError::Full`] (backpressure) / [`PushError::Closed`]
+//!   (shutdown), returning ownership of the batch to the caller. A batch
+//!   larger than the capacity can never fit and is always rejected.
+//! * **Consumers block on a condvar.** [`BoundedQueue::pop_many`] parks
+//!   until items arrive or the queue closes.
+//! * **Close means drain, not drop.** After [`BoundedQueue::close`],
+//!   consumers keep receiving the items already queued; only once the
+//!   queue is closed *and* empty does `pop_many` return an empty batch —
+//!   the consumer's signal to exit. No accepted item is ever discarded.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected. The batch itself is handed back alongside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Admitting the batch would exceed the queue capacity.
+    Full {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The queue was closed; the server is shutting down.
+    Closed,
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer FIFO (see the [module
+/// docs](self) for the backpressure and shutdown contract).
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of items currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Admits the whole `batch` or none of it, never blocking. On
+    /// rejection the batch is returned to the caller untouched (in order),
+    /// so no request is lost to backpressure.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the batch does not fit within capacity
+    /// (a batch larger than the capacity is always rejected);
+    /// [`PushError::Closed`] once [`BoundedQueue::close`] was called.
+    pub fn try_push_all(&self, batch: Vec<T>) -> Result<(), (PushError, Vec<T>)> {
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        if state.closed {
+            return Err((PushError::Closed, batch));
+        }
+        if state.items.len() + batch.len() > self.capacity {
+            return Err((
+                PushError::Full {
+                    capacity: self.capacity,
+                },
+                batch,
+            ));
+        }
+        state.items.extend(batch);
+        drop(state);
+        self.not_empty.notify_all();
+        Ok(())
+    }
+
+    /// Pops up to `max` items (at least one), blocking while the queue is
+    /// open and empty. Returns an empty vector only when the queue is
+    /// closed **and** fully drained — the consumer's exit signal.
+    #[must_use]
+    pub fn pop_many(&self, max: usize) -> Vec<T> {
+        let max = max.max(1);
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        loop {
+            if !state.items.is_empty() {
+                let take = max.min(state.items.len());
+                let drained: Vec<T> = state.items.drain(..take).collect();
+                if !state.items.is_empty() {
+                    // More work remains: hand another parked consumer a turn.
+                    self.not_empty.notify_one();
+                }
+                return drained;
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            state = self
+                .not_empty
+                .wait(state)
+                .expect("queue lock poisoned while waiting");
+        }
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// already-queued items keep draining, and parked consumers wake.
+    pub fn close(&self) {
+        let mut state = self.inner.lock().expect("queue lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_then_pop_is_fifo() {
+        let queue = BoundedQueue::new(4);
+        queue.try_push_all(vec![1, 2, 3]).unwrap();
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.pop_many(2), vec![1, 2]);
+        assert_eq!(queue.pop_many(8), vec![3]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking_and_returns_the_batch() {
+        let queue = BoundedQueue::new(2);
+        queue.try_push_all(vec![1]).unwrap();
+        // 1 queued + 2 incoming > capacity 2: all-or-nothing rejection.
+        let (err, batch) = queue.try_push_all(vec![2, 3]).unwrap_err();
+        assert_eq!(err, PushError::Full { capacity: 2 });
+        assert_eq!(batch, vec![2, 3]);
+        // The queue itself is untouched.
+        assert_eq!(queue.len(), 1);
+        // A fitting batch still goes through.
+        queue.try_push_all(vec![4]).unwrap();
+        assert_eq!(queue.pop_many(8), vec![1, 4]);
+    }
+
+    #[test]
+    fn batch_larger_than_capacity_is_always_rejected() {
+        let queue = BoundedQueue::new(2);
+        let (err, batch) = queue.try_push_all(vec![1, 2, 3]).unwrap_err();
+        assert_eq!(err, PushError::Full { capacity: 2 });
+        assert_eq!(batch.len(), 3);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op_push() {
+        let queue = BoundedQueue::<u32>::new(1);
+        queue.try_push_all(Vec::new()).unwrap();
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let queue = BoundedQueue::new(0);
+        assert_eq!(queue.capacity(), 1);
+        queue.try_push_all(vec![7]).unwrap();
+        assert_eq!(queue.pop_many(1), vec![7]);
+    }
+
+    #[test]
+    fn close_drains_queued_items_then_signals_exit() {
+        let queue = BoundedQueue::new(4);
+        queue.try_push_all(vec![1, 2, 3]).unwrap();
+        queue.close();
+        // Pushing after close fails and returns the batch.
+        let (err, batch) = queue.try_push_all(vec![9]).unwrap_err();
+        assert_eq!(err, PushError::Closed);
+        assert_eq!(batch, vec![9]);
+        // Queued items still drain in order...
+        assert_eq!(queue.pop_many(2), vec![1, 2]);
+        assert_eq!(queue.pop_many(2), vec![3]);
+        // ...and only then does the queue report exhaustion.
+        assert!(queue.pop_many(2).is_empty());
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_close() {
+        let queue = Arc::new(BoundedQueue::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || queue.pop_many(4))
+            })
+            .collect();
+        // Give the consumers a moment to park, then close: all must return.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        queue.close();
+        for handle in handles {
+            assert!(handle.join().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_lose_nothing() {
+        let queue = Arc::new(BoundedQueue::new(8));
+        let produced = 4 * 200;
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        let items = queue.pop_many(4);
+                        if items.is_empty() {
+                            return got;
+                        }
+                        got.extend(items);
+                    }
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..4)
+            .map(|producer| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    for item in 0..200u32 {
+                        let mut batch = vec![producer * 1_000 + item];
+                        // Bounded-queue contract: rejection, not blocking —
+                        // the producer decides to retry.
+                        while let Err((err, returned)) = queue.try_push_all(batch) {
+                            assert_eq!(err, PushError::Full { capacity: 8 });
+                            batch = returned;
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        queue.close();
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), produced);
+        all.dedup();
+        assert_eq!(all.len(), produced, "duplicated or lost items");
+    }
+}

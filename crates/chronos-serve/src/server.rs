@@ -1,0 +1,764 @@
+//! The planning server: worker pool, request/response types, admission
+//! logic, latency accounting and the decisions digest.
+
+use crate::queue::{BoundedQueue, PushError};
+use chronos_core::prelude::*;
+use chronos_plan::{CacheStats, PlanCache, PlanResult, Planner, ProfileKey};
+use chronos_sim::prelude::{JobId, JobSpec, JobSubmitView, LatencyHistogram};
+use chronos_strategies::prelude::{ChronosPolicyConfig, PolicyPlanner, StrategyTiming};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// How many work items a worker pops per queue round trip: large enough to
+/// amortize the queue lock, small enough that one worker cannot starve the
+/// others under a bursty arrival stream.
+const POP_BATCH: usize = 32;
+
+/// One admission request: a job, as it would be submitted, plus a
+/// caller-assigned id that survives into the response (responses complete
+/// out of submission order across workers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Caller-assigned correlation id, echoed in the response.
+    pub request_id: u64,
+    /// The job to decide admission for.
+    pub job: JobSpec,
+}
+
+/// What the server decided for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionDecision {
+    /// Whether any strategy can be optimized for this job (deadline
+    /// feasible). When `false` every other field is zero/`None`.
+    pub feasible: bool,
+    /// The utility-maximizing strategy (ties break in
+    /// [`StrategyKind::ALL`] order, so the choice is deterministic).
+    pub strategy: Option<StrategyKind>,
+    /// The optimal number of extra speculative copies `r`.
+    pub copies: u32,
+    /// PoCD at the optimum.
+    pub pocd: f64,
+    /// Expected dollar cost at the optimum.
+    pub dollar_cost: f64,
+    /// Net utility at the optimum.
+    pub utility: f64,
+}
+
+impl AdmissionDecision {
+    /// The decision for a job no strategy can be optimized for.
+    #[must_use]
+    pub fn infeasible() -> Self {
+        AdmissionDecision {
+            feasible: false,
+            strategy: None,
+            copies: 0,
+            pocd: 0.0,
+            dollar_cost: 0.0,
+            utility: 0.0,
+        }
+    }
+}
+
+/// One admission response, carrying its request's correlation id.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// The correlation id of the request this answers.
+    pub request_id: u64,
+    /// The job the decision applies to.
+    pub job: JobId,
+    /// The admission decision.
+    pub decision: AdmissionDecision,
+}
+
+/// Why the server could not take a submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue could not admit the batch: explicit backpressure.
+    /// The caller decides whether to retry, shed or degrade.
+    Overloaded {
+        /// The server's queue capacity.
+        capacity: usize,
+    },
+    /// The server is shutting down; no new work is accepted.
+    ShuttingDown,
+    /// The configuration was rejected at startup.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => {
+                write!(f, "server overloaded (queue capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::InvalidConfig(why) => write!(f, "invalid serve config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A rejected submission: the error plus the batch, returned to the caller
+/// in submission order so no request is lost to backpressure.
+#[derive(Debug)]
+pub struct Rejected {
+    /// Why the batch was rejected.
+    pub error: ServeError,
+    /// The rejected requests, ownership returned.
+    pub requests: Vec<ServeRequest>,
+}
+
+/// How the server measures per-request latency.
+///
+/// Wall-clock latencies are inherently nondeterministic, which would make
+/// the "merged per-worker histograms equal a single-threaded replay"
+/// property untestable. The synthetic probe replaces the clock with a pure
+/// function of the job, so tests can pin histogram merging bit-exactly
+/// while production keeps real measurements.
+#[derive(Debug, Clone, Copy)]
+pub enum LatencyProbe {
+    /// Microseconds from enqueue to decision (queueing delay included —
+    /// that is the latency a submitter observes).
+    WallMicros,
+    /// A deterministic per-job pseudo-latency in microseconds.
+    SyntheticMicros(fn(&JobSpec) -> f64),
+}
+
+/// Planning-server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads (thread-per-core is the intended deployment).
+    pub workers: u32,
+    /// Bounded-queue capacity: the backpressure knob. Small capacities
+    /// bound queueing delay (and therefore tail latency); large ones
+    /// absorb burstier arrivals before rejecting.
+    pub queue_capacity: usize,
+    /// The Chronos policy configuration decisions are optimized under.
+    pub policy: ChronosPolicyConfig,
+    /// Latency measurement mode.
+    pub probe: LatencyProbe,
+    /// Capacity of each worker's local plan memo (layered over the shared
+    /// cache so hot profiles skip the stripe lock entirely). The memo is
+    /// cleared wholesale when full — it is a throughput lever, not a
+    /// correctness one.
+    pub local_memo_capacity: usize,
+}
+
+impl ServeConfig {
+    /// A configuration with the trace-replay policy defaults (testbed
+    /// objective, trace-scaled `τ_est`/`τ_kill`), wall-clock latencies and
+    /// a reasonable local memo.
+    #[must_use]
+    pub fn new(workers: u32, queue_capacity: usize) -> Self {
+        ServeConfig {
+            workers,
+            queue_capacity,
+            policy: ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default()),
+            probe: LatencyProbe::WallMicros,
+            local_memo_capacity: 1_024,
+        }
+    }
+
+    /// Replaces the latency probe.
+    #[must_use]
+    pub fn with_probe(mut self, probe: LatencyProbe) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Replaces the policy configuration.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ChronosPolicyConfig) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// Server-wide statistics. Per-worker histograms merge monoidally (in
+/// worker-index order, though element-wise integer addition is commutative
+/// anyway) into one [`LatencyHistogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests decided and completed.
+    pub served: u64,
+    /// Requests rejected with [`ServeError::Overloaded`] or
+    /// [`ServeError::ShuttingDown`].
+    pub rejected: u64,
+    /// Merged per-request latency histogram. **The recorded unit is
+    /// microseconds**, not seconds: the histogram's log₂ buckets start at
+    /// `[0, 1)`, so recording seconds would collapse every sub-second
+    /// decision into bucket 0. Bucket `i` therefore covers
+    /// `[2^(i−1), 2^i)` µs here.
+    pub latency: LatencyHistogram,
+    /// Counter snapshot of the shared plan cache.
+    pub cache: CacheStats,
+}
+
+/// The slots a batch's responses land in, plus the countdown to done.
+#[derive(Debug)]
+struct BatchSlots {
+    responses: Vec<Option<ServeResponse>>,
+    remaining: usize,
+}
+
+/// Completion state shared between a [`Ticket`] and the workers deciding
+/// its batch.
+#[derive(Debug)]
+struct BatchState {
+    slots: Mutex<BatchSlots>,
+    done: Condvar,
+}
+
+impl BatchState {
+    fn new(len: usize) -> Self {
+        BatchState {
+            slots: Mutex::new(BatchSlots {
+                responses: (0..len).map(|_| None).collect(),
+                remaining: len,
+            }),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, slot: usize, response: ServeResponse) {
+        let mut slots = self.slots.lock().expect("batch lock poisoned");
+        if slots.responses[slot].replace(response).is_none() {
+            slots.remaining -= 1;
+        }
+        if slots.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A claim on an accepted batch's responses. [`Ticket::wait`] blocks until
+/// every request in the batch is decided and returns the responses in
+/// submission order.
+#[derive(Debug)]
+#[must_use = "an unawaited ticket drops its responses"]
+pub struct Ticket {
+    batch: Arc<BatchState>,
+}
+
+impl Ticket {
+    /// Blocks until the whole batch is decided; responses come back in the
+    /// order the requests were submitted.
+    pub fn wait(self) -> Vec<ServeResponse> {
+        let mut slots = self.batch.slots.lock().expect("batch lock poisoned");
+        while slots.remaining > 0 {
+            slots = self
+                .batch
+                .done
+                .wait(slots)
+                .expect("batch lock poisoned while waiting");
+        }
+        slots
+            .responses
+            .iter_mut()
+            .map(|slot| slot.take().expect("completed batch fills every slot"))
+            .collect()
+    }
+}
+
+/// One unit of queued work.
+#[derive(Debug)]
+struct WorkItem {
+    request: ServeRequest,
+    slot: usize,
+    batch: Arc<BatchState>,
+    enqueued: Instant,
+}
+
+/// State shared by the submitter-facing handle and every worker.
+#[derive(Debug)]
+struct ServerShared {
+    queue: BoundedQueue<WorkItem>,
+    cache: Arc<PlanCache>,
+    served: AtomicU64,
+    rejected: AtomicU64,
+    histograms: Vec<Mutex<LatencyHistogram>>,
+}
+
+/// The worker-side admission planner: builds the per-strategy plan
+/// requests, memoizes results in a small worker-local map layered over the
+/// shared single-flight [`PlanCache`], and picks the utility-maximizing
+/// strategy deterministically.
+struct AdmissionPlanner {
+    requests: PolicyPlanner,
+    planner: Planner,
+    memo: HashMap<ProfileKey, PlanResult>,
+    memo_capacity: usize,
+}
+
+impl AdmissionPlanner {
+    fn new(config: &ServeConfig, cache: Arc<PlanCache>) -> Result<Self, ServeError> {
+        let optimizer = Optimizer::with_config(config.policy.objective, config.policy.optimizer)
+            .map_err(|err| ServeError::InvalidConfig(err.to_string()))?;
+        Ok(AdmissionPlanner {
+            requests: PolicyPlanner::uncached(config.policy),
+            planner: Planner::with_cache(optimizer, cache),
+            memo: HashMap::new(),
+            memo_capacity: config.local_memo_capacity.max(1),
+        })
+    }
+
+    fn plan(&mut self, view: &JobSubmitView, kind: StrategyKind) -> Option<PlanResult> {
+        let request = self.requests.request_for(view, kind).ok()?;
+        let key = self.planner.key_of(&request);
+        if let Some(result) = self.memo.get(&key) {
+            return Some(result.clone());
+        }
+        let result = self.planner.plan_request(&request);
+        if self.memo.len() >= self.memo_capacity {
+            self.memo.clear();
+        }
+        self.memo.insert(key, result.clone());
+        Some(result)
+    }
+
+    /// Decides one job: every strategy in [`StrategyKind::ALL`] is planned
+    /// and the highest-utility feasible one wins (strictly-greater
+    /// comparison, so ties resolve to the earliest kind — deterministic
+    /// regardless of which worker decides).
+    fn decide(&mut self, job: &JobSpec) -> AdmissionDecision {
+        let view = JobSubmitView {
+            job: job.id,
+            task_count: job.task_count() as u32,
+            deadline_secs: job.deadline_secs,
+            price: job.price,
+            profile: job.profile,
+        };
+        let mut best: Option<(StrategyKind, OptimizationOutcome)> = None;
+        for kind in StrategyKind::ALL {
+            let Some(Ok(plan)) = self.plan(&view, kind) else {
+                continue;
+            };
+            let better = match &best {
+                None => true,
+                Some((_, incumbent)) => plan.outcome.utility > incumbent.utility,
+            };
+            if better {
+                best = Some((kind, plan.outcome));
+            }
+        }
+        match best {
+            Some((kind, outcome)) => AdmissionDecision {
+                feasible: true,
+                strategy: Some(kind),
+                copies: outcome.r,
+                pocd: outcome.pocd,
+                dollar_cost: outcome.dollar_cost,
+                utility: outcome.utility,
+            },
+            None => AdmissionDecision::infeasible(),
+        }
+    }
+}
+
+/// The long-running admission-control planning server. See the crate docs
+/// for the queue shape, backpressure semantics and shutdown protocol.
+#[derive(Debug)]
+pub struct PlanServer {
+    shared: Arc<ServerShared>,
+    config: ServeConfig,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl PlanServer {
+    /// Starts the worker pool over a fresh shared plan cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when `workers` or `queue_capacity` is
+    /// zero, or the policy's optimizer configuration fails validation.
+    pub fn start(config: ServeConfig) -> Result<Self, ServeError> {
+        PlanServer::start_with_cache(config, PlanCache::shared())
+    }
+
+    /// Starts the worker pool over an existing shared cache (e.g. one
+    /// pre-warmed by a batch replay).
+    ///
+    /// # Errors
+    ///
+    /// As for [`PlanServer::start`].
+    pub fn start_with_cache(
+        config: ServeConfig,
+        cache: Arc<PlanCache>,
+    ) -> Result<Self, ServeError> {
+        let mut server = PlanServer::build(config, cache)?;
+        server.launch_workers();
+        Ok(server)
+    }
+
+    /// Builds the server without launching workers. Used directly by tests
+    /// that need a deterministically full queue (no consumer racing the
+    /// submitter); everything else goes through [`PlanServer::start`].
+    fn build(config: ServeConfig, cache: Arc<PlanCache>) -> Result<Self, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::InvalidConfig(
+                "workers: must be at least 1".to_string(),
+            ));
+        }
+        if config.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity: must be at least 1".to_string(),
+            ));
+        }
+        // Validate the optimizer configuration up front: a broken config
+        // should fail startup loudly, not turn every decision infeasible.
+        Optimizer::with_config(config.policy.objective, config.policy.optimizer)
+            .map_err(|err| ServeError::InvalidConfig(err.to_string()))?;
+        let shared = Arc::new(ServerShared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache,
+            served: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            histograms: (0..config.workers)
+                .map(|_| Mutex::new(LatencyHistogram::new()))
+                .collect(),
+        });
+        Ok(PlanServer {
+            shared,
+            config,
+            handles: Vec::new(),
+        })
+    }
+
+    fn launch_workers(&mut self) {
+        for index in 0..self.config.workers as usize {
+            let shared = Arc::clone(&self.shared);
+            let config = self.config;
+            self.handles.push(std::thread::spawn(move || {
+                worker_loop(&shared, index, &config);
+            }));
+        }
+    }
+
+    /// The server's queue capacity.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue.capacity()
+    }
+
+    /// The shared plan cache backing every worker.
+    #[must_use]
+    pub fn cache(&self) -> &Arc<PlanCache> {
+        &self.shared.cache
+    }
+
+    /// Submits a batch of requests. The whole batch is admitted or
+    /// rejected atomically and **the call never blocks**: backpressure
+    /// surfaces as [`ServeError::Overloaded`] with the batch returned, and
+    /// the caller chooses its overload policy (retry, shed, degrade).
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected`] with [`ServeError::Overloaded`] when the queue cannot
+    /// take the batch, or [`ServeError::ShuttingDown`] once shutdown began.
+    pub fn submit(&self, requests: Vec<ServeRequest>) -> Result<Ticket, Rejected> {
+        let enqueued = Instant::now();
+        let batch = Arc::new(BatchState::new(requests.len()));
+        let items: Vec<WorkItem> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(slot, request)| WorkItem {
+                request,
+                slot,
+                batch: Arc::clone(&batch),
+                enqueued,
+            })
+            .collect();
+        match self.shared.queue.try_push_all(items) {
+            Ok(()) => Ok(Ticket { batch }),
+            Err((push_error, items)) => {
+                self.shared
+                    .rejected
+                    .fetch_add(items.len() as u64, Ordering::Relaxed);
+                let error = match push_error {
+                    PushError::Full { capacity } => ServeError::Overloaded { capacity },
+                    PushError::Closed => ServeError::ShuttingDown,
+                };
+                Err(Rejected {
+                    error,
+                    requests: items.into_iter().map(|item| item.request).collect(),
+                })
+            }
+        }
+    }
+
+    /// Submits a single request (see [`PlanServer::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`PlanServer::submit`].
+    pub fn submit_one(&self, request: ServeRequest) -> Result<Ticket, Rejected> {
+        self.submit(vec![request])
+    }
+
+    /// A live snapshot of the server statistics (workers keep running).
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        collect_stats(&self.shared)
+    }
+
+    /// Graceful shutdown: closes the queue (new submissions are rejected
+    /// with [`ServeError::ShuttingDown`]), lets the workers drain every
+    /// already-accepted request, joins them, and returns the final
+    /// statistics. No accepted request is dropped.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServerStats {
+        self.shared.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        collect_stats(&self.shared)
+    }
+}
+
+impl Drop for PlanServer {
+    /// Dropping the server without [`PlanServer::shutdown`] still drains
+    /// and joins — abandoned worker threads would outlive the process's
+    /// expectations otherwise.
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn collect_stats(shared: &ServerShared) -> ServerStats {
+    let mut latency = LatencyHistogram::new();
+    // Worker-index order: merging is commutative, but a fixed order keeps
+    // the merge sequence itself reproducible.
+    for histogram in &shared.histograms {
+        latency.merge(&histogram.lock().expect("histogram lock poisoned"));
+    }
+    ServerStats {
+        served: shared.served.load(Ordering::Relaxed),
+        rejected: shared.rejected.load(Ordering::Relaxed),
+        latency,
+        cache: shared.cache.stats(),
+    }
+}
+
+fn worker_loop(shared: &ServerShared, index: usize, config: &ServeConfig) {
+    let mut planner = AdmissionPlanner::new(config, Arc::clone(&shared.cache))
+        .expect("config was validated at startup");
+    loop {
+        let items = shared.queue.pop_many(POP_BATCH);
+        if items.is_empty() {
+            // Closed and fully drained: the shutdown protocol's exit signal.
+            return;
+        }
+        for item in items {
+            let decision = planner.decide(&item.request.job);
+            let micros = match config.probe {
+                LatencyProbe::WallMicros => item.enqueued.elapsed().as_secs_f64() * 1e6,
+                LatencyProbe::SyntheticMicros(f) => f(&item.request.job),
+            };
+            shared.histograms[index]
+                .lock()
+                .expect("histogram lock poisoned")
+                .record_secs(micros);
+            let response = ServeResponse {
+                request_id: item.request.request_id,
+                job: item.request.job.id,
+                decision,
+            };
+            item.batch.complete(item.slot, response);
+            shared.served.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// FNV-1a 64 digest over the batch's *decision* fields (ids, feasibility,
+/// strategy, copy counts), as a hex string. Responses are digested in
+/// ascending `request_id` order, so any submission/completion interleaving
+/// of the same decisions produces the same digest. Float fields (PoCD,
+/// cost, utility) are deliberately excluded: they flow through platform
+/// libm, and this digest is hard-checked across hosts by the baseline's
+/// `--check` mode and CI's `serve-smoke` job.
+#[must_use]
+pub fn decisions_digest(responses: &[ServeResponse]) -> String {
+    let mut ordered: Vec<&ServeResponse> = responses.iter().collect();
+    ordered.sort_unstable_by_key(|response| response.request_id);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for byte in bytes {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for response in ordered {
+        eat(&response.request_id.to_le_bytes());
+        eat(&response.job.raw().to_le_bytes());
+        eat(&[u8::from(response.decision.feasible)]);
+        let strategy = match response.decision.strategy {
+            None => u8::MAX,
+            Some(StrategyKind::Clone) => 0,
+            Some(StrategyKind::SpeculativeRestart) => 1,
+            Some(StrategyKind::SpeculativeResume) => 2,
+        };
+        eat(&[strategy]);
+        eat(&response.decision.copies.to_le_bytes());
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronos_sim::prelude::SimTime;
+
+    fn job(id: u64, deadline: f64) -> JobSpec {
+        JobSpec::new(JobId::new(id), SimTime::ZERO, deadline, 10)
+    }
+
+    fn request(id: u64, deadline: f64) -> ServeRequest {
+        ServeRequest {
+            request_id: id,
+            job: job(id, deadline),
+        }
+    }
+
+    #[test]
+    fn start_rejects_zero_workers_and_zero_capacity() {
+        let err = PlanServer::start(ServeConfig::new(0, 8)).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(ref why) if why.contains("workers")));
+        let err = PlanServer::start(ServeConfig::new(1, 0)).unwrap_err();
+        assert!(
+            matches!(err, ServeError::InvalidConfig(ref why) if why.contains("queue_capacity"))
+        );
+    }
+
+    #[test]
+    fn start_rejects_a_broken_optimizer_config() {
+        let mut config = ServeConfig::new(1, 8);
+        config.policy.optimizer.eta = 0.0;
+        let err = PlanServer::start(config).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidConfig(ref why) if why.contains("eta")));
+    }
+
+    #[test]
+    fn serves_a_batch_and_decides_deterministically() {
+        let server = PlanServer::start(ServeConfig::new(2, 16)).unwrap();
+        let ticket = server
+            .submit((0..8).map(|i| request(i, 100.0)).collect())
+            .unwrap();
+        let responses = ticket.wait();
+        assert_eq!(responses.len(), 8);
+        for (index, response) in responses.iter().enumerate() {
+            // Submission order, with the correlation ids echoed back.
+            assert_eq!(response.request_id, index as u64);
+            assert!(response.decision.feasible);
+            assert!(response.decision.strategy.is_some());
+            assert!(response.decision.copies >= 1);
+        }
+        // All 8 jobs share one profile: every decision is identical.
+        for response in &responses[1..] {
+            assert_eq!(response.decision, responses[0].decision);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 8);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.latency.total(), 8);
+        // Three strategies planned for one distinct profile: three solves,
+        // everything else came from a cache or memo layer.
+        assert!(stats.cache.misses <= 3);
+    }
+
+    #[test]
+    fn infeasible_jobs_get_a_typed_negative_decision() {
+        let server = PlanServer::start(ServeConfig::new(1, 4)).unwrap();
+        // Deadline at t_min: no strategy (not even Clone) can be built.
+        let responses = server.submit_one(request(0, 1.0)).unwrap().wait();
+        assert_eq!(responses[0].decision, AdmissionDecision::infeasible());
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn overload_is_deterministic_when_no_worker_drains() {
+        // Paused start: workers never launch, so the queue state is fully
+        // under the test's control — no racing consumer can make room.
+        let server = PlanServer::build(ServeConfig::new(1, 2), PlanCache::shared()).unwrap();
+        let _accepted = server
+            .submit(vec![request(0, 100.0), request(1, 100.0)])
+            .unwrap();
+        let rejected = server.submit_one(request(2, 100.0)).unwrap_err();
+        assert_eq!(rejected.error, ServeError::Overloaded { capacity: 2 });
+        assert_eq!(rejected.requests.len(), 1);
+        assert_eq!(rejected.requests[0].request_id, 2);
+        let stats = server.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.served, 0);
+    }
+
+    #[test]
+    fn batches_larger_than_the_queue_are_rejected_not_blocked() {
+        let server = PlanServer::start(ServeConfig::new(1, 2)).unwrap();
+        let batch: Vec<ServeRequest> = (0..3).map(|i| request(i, 100.0)).collect();
+        let rejected = server.submit(batch).unwrap_err();
+        assert_eq!(rejected.error, ServeError::Overloaded { capacity: 2 });
+        assert_eq!(rejected.requests.len(), 3);
+        // Ownership returned in submission order.
+        assert_eq!(rejected.requests[0].request_id, 0);
+        assert_eq!(rejected.requests[2].request_id, 2);
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn submissions_after_shutdown_began_are_rejected_as_shutting_down() {
+        let server = PlanServer::start(ServeConfig::new(1, 4)).unwrap();
+        server.shared.queue.close();
+        let rejected = server.submit_one(request(0, 100.0)).unwrap_err();
+        assert_eq!(rejected.error, ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn empty_submission_completes_immediately() {
+        let server = PlanServer::start(ServeConfig::new(1, 4)).unwrap();
+        let responses = server.submit(Vec::new()).unwrap().wait();
+        assert!(responses.is_empty());
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn digest_is_submission_order_invariant_and_decision_sensitive() {
+        let decision = AdmissionDecision {
+            feasible: true,
+            strategy: Some(StrategyKind::Clone),
+            copies: 2,
+            pocd: 0.9,
+            dollar_cost: 10.0,
+            utility: -0.1,
+        };
+        let a = ServeResponse {
+            request_id: 0,
+            job: JobId::new(0),
+            decision,
+        };
+        let b = ServeResponse {
+            request_id: 1,
+            job: JobId::new(1),
+            decision,
+        };
+        assert_eq!(decisions_digest(&[a, b]), decisions_digest(&[b, a]));
+        // Floats are excluded: a libm-shifted utility digests identically…
+        let mut float_shift = b;
+        float_shift.decision.utility += 1e-9;
+        assert_eq!(
+            decisions_digest(&[a, b]),
+            decisions_digest(&[a, float_shift])
+        );
+        // …but any decision field difference changes the digest.
+        let mut different = b;
+        different.decision.copies = 3;
+        assert_ne!(decisions_digest(&[a, b]), decisions_digest(&[a, different]));
+    }
+}

@@ -180,21 +180,53 @@ impl LatencyHistogram {
     /// An upper bound (bucket upper edge) on the `q`-quantile of the
     /// recorded turnarounds, or `None` when nothing completed. `q` is
     /// clamped to `[0, 1]`.
+    ///
+    /// The returned bound is always **finite**: a quantile landing in the
+    /// overflow bucket reports that bucket's lower edge (`2^38`) — the
+    /// tightest finite statement the histogram can make — instead of the
+    /// bucket's infinite upper edge, which would serialize as `inf` in
+    /// reports and defeat any numeric comparison against a latency target.
+    /// Use [`LatencyHistogram::saturated`] to detect that the bound was
+    /// clamped this way.
     #[must_use]
     pub fn quantile_upper_bound(&self, q: f64) -> Option<f64> {
         let completed = self.completed();
         if completed == 0 {
             return None;
         }
+        let overflow_edge = Self::bucket_bounds(LATENCY_BUCKETS - 1).0;
         let target = (q.clamp(0.0, 1.0) * completed as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (index, count) in self.buckets.iter().enumerate() {
             seen += count;
             if seen >= target {
-                return Some(Self::bucket_bounds(index).1);
+                // The overflow bucket (and any out-of-layout index from a
+                // deserialized oversized vector) has no finite upper edge;
+                // report its lower edge instead.
+                return Some(if index >= LATENCY_BUCKETS - 1 {
+                    overflow_edge
+                } else {
+                    Self::bucket_bounds(index).1
+                });
             }
         }
-        Some(f64::INFINITY)
+        Some(overflow_edge)
+    }
+
+    /// True when any sample landed in the overflow bucket, i.e. some
+    /// recorded value was at or beyond the last bucket's lower edge
+    /// (`2^38`). When this is set, quantiles that reach the overflow bucket
+    /// are clamped to that edge by [`LatencyHistogram::quantile_upper_bound`]
+    /// and should be read as "at least this much".
+    #[must_use]
+    pub fn saturated(&self) -> bool {
+        // `skip` rather than indexing: a deserialized oversized vector keeps
+        // its out-of-layout counts until the next record/merge heals it, and
+        // those counts are overflow counts by definition.
+        self.buckets
+            .iter()
+            .skip(LATENCY_BUCKETS - 1)
+            .any(|&count| count > 0)
     }
 }
 
@@ -647,6 +679,48 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.5), Some(128.0));
         assert_eq!(h.quantile_upper_bound(1.0), Some(256.0));
         assert_eq!(h.quantile_upper_bound(0.0), Some(128.0));
+    }
+
+    #[test]
+    fn overflow_quantiles_are_finite_and_flagged() {
+        // Regression: a quantile landing in the overflow bucket used to
+        // return Some(f64::INFINITY), which serialized as `inf` in reports.
+        let mut h = LatencyHistogram::new();
+        h.record_secs(80.0); // bucket 7
+        h.record_secs(f64::MAX); // overflow bucket
+        let overflow_edge = LatencyHistogram::bucket_bounds(LATENCY_BUCKETS - 1).0;
+        assert_eq!(h.quantile_upper_bound(1.0), Some(overflow_edge));
+        assert!(h.quantile_upper_bound(1.0).unwrap().is_finite());
+        // Quantiles below the overflow bucket are untouched.
+        assert_eq!(h.quantile_upper_bound(0.5), Some(128.0));
+        // The clamp is observable: the histogram reports saturation.
+        assert!(h.saturated());
+
+        let mut clean = LatencyHistogram::new();
+        clean.record_secs(80.0);
+        assert!(!clean.saturated());
+        assert!(!LatencyHistogram::new().saturated());
+
+        // Every sample in overflow: every quantile is the finite edge.
+        let mut all_over = LatencyHistogram::new();
+        all_over.record_secs(f64::INFINITY);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(all_over.quantile_upper_bound(q), Some(overflow_edge));
+        }
+
+        // Out-of-layout counts in a deserialized oversized vector are
+        // overflow counts too — for the flag and for the clamp.
+        let oversized_json = format!(
+            r#"{{"buckets": [{}], "unfinished": 0}}"#,
+            vec!["0"; LATENCY_BUCKETS]
+                .into_iter()
+                .chain(["1"])
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let oversized: LatencyHistogram = serde_json::from_str(&oversized_json).unwrap();
+        assert!(oversized.saturated());
+        assert_eq!(oversized.quantile_upper_bound(1.0), Some(overflow_edge));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! A full reproduction of *"Chronos: A Unifying Optimization Framework for
 //! Speculative Execution of Deadline-critical MapReduce Jobs"* (ICDCS 2018)
-//! as a Rust workspace. This facade crate re-exports the four component
+//! as a Rust workspace. This facade crate re-exports the component
 //! crates and provides a [`prelude`] that covers the common workflow:
 //!
 //! 1. describe a job analytically ([`chronos_core::JobProfile`]),
@@ -47,6 +47,7 @@
 
 pub use chronos_core as core;
 pub use chronos_plan as plan;
+pub use chronos_serve as serve;
 pub use chronos_sim as sim;
 pub use chronos_strategies as strategies;
 pub use chronos_trace as trace;
@@ -57,6 +58,10 @@ pub mod prelude {
     pub use chronos_plan::prelude::{
         canonical_f64_bits, CacheStats, JobProfileKey, Plan, PlanCache, PlanRequest, PlanResult,
         Planner, ProfileKey,
+    };
+    pub use chronos_serve::prelude::{
+        decisions_digest, AdmissionDecision, LatencyProbe, PlanServer, ServeConfig, ServeError,
+        ServeRequest, ServeResponse, ServerStats, Ticket,
     };
     pub use chronos_sim::prelude::{
         shard_seed, ClusterSpec, EstimatorKind, JobId, JobSpec, JvmModel, LatencyHistogram,
@@ -103,5 +108,16 @@ mod tests {
             .unwrap();
         assert!(plan.outcome.pocd > plan.baseline_pocd);
         assert_eq!(planner.stats().misses, 1);
+        // And the serving layer: an online admission decision end to end.
+        let server = PlanServer::start(ServeConfig::new(1, 4)).unwrap();
+        let responses = server
+            .submit_one(ServeRequest {
+                request_id: 7,
+                job: JobSpec::new(JobId::new(0), SimTime::ZERO, 100.0, 10),
+            })
+            .unwrap()
+            .wait();
+        assert!(responses[0].decision.feasible);
+        assert_eq!(server.shutdown().served, 1);
     }
 }

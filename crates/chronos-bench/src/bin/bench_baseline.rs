@@ -41,6 +41,15 @@
 //! float-derived and loud-tolerated like PoCD; throughput and the latency
 //! quantiles (p50/p99/p999 in microseconds, against the recorded
 //! `p99_target_us` SLO of 100 µs) are informational timing.
+//!
+//! Schema v5 adds the required `budget` field: a [`BudgetEntry`] for the
+//! same workload replayed through a budget-capped `s-restart` policy
+//! (`budget/workers-4`, 256 copies per planning round). Its allocation
+//! digest and ledger totals are integer-deterministic and hard-checked;
+//! `measure` additionally asserts the 1-worker and 4-worker budgeted
+//! replays produce a bit-identical report *and* allocation digest — the
+//! water-filling allocator must depend on the chunk structure, never the
+//! thread schedule.
 
 use chronos_bench::{
     replay_sharded_bench_trace, report_digest, sharded_bench_config, sharded_bench_stream,
@@ -53,6 +62,7 @@ use chronos_strategies::prelude::*;
 use chronos_trace::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Job count: chosen to finish in about a second in release mode while
@@ -157,6 +167,37 @@ struct ServeEntry {
     p99_target_us: f64,
 }
 
+/// The budgeted-replay entry: the same workload replayed through the
+/// `PolicyBuilder`-built budget-capped `s-restart` policy, every shard
+/// sharing one plan cache and one [`AllocationLedger`]. Its deterministic
+/// fields are the ledger totals and the allocation digest (FNV over the
+/// integer-only `(job, copies)` grants — float-free, so safe to hard-check
+/// across hosts). `measure` asserts the 1-worker replay is bit-identical,
+/// report and digest both.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BudgetEntry {
+    /// Configuration label, `budget/workers-4`.
+    name: String,
+    workers: u32,
+    /// The per-planning-round copy cap the replay ran under.
+    budget: u64,
+    // -- deterministic fields (hard-checked) --
+    jobs: usize,
+    allocation_digest: String,
+    /// Summed unconstrained optima across all rounds (`Σ r*`).
+    requested: u64,
+    /// Copies actually granted under the cap.
+    spent: u64,
+    /// Planning rounds the ledger recorded (the chunk structure).
+    batches: u64,
+    // -- deterministic on one host, float-derived (loud-tolerated) --
+    pocd: f64,
+    total_attempts: u64,
+    // -- timing fields (informational) --
+    wall_ms: f64,
+    events_per_sec: f64,
+}
+
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Baseline {
     schema_version: u32,
@@ -164,9 +205,15 @@ struct Baseline {
     entries: Vec<BaselineEntry>,
     plan_cache: PlanCacheEntry,
     serve: ServeEntry,
+    budget: BudgetEntry,
 }
 
-const SCHEMA_VERSION: u32 = 4;
+const SCHEMA_VERSION: u32 = 5;
+
+/// The per-planning-round copy cap of the `budget/*` entry: low enough to
+/// genuinely constrain the workload (each of the 16 chunks requests far
+/// more), high enough that speculation still visibly happens.
+const BUDGET_TOKENS: u64 = 256;
 
 fn workload_meta() -> WorkloadMeta {
     WorkloadMeta {
@@ -311,6 +358,79 @@ fn run_plan_cache_config(workers: u32, reference: &SimulationReport) -> PlanCach
     }
 }
 
+/// Times the budgeted-replay path: the `run_chunked_planned` workload with
+/// every shard's `s-restart` policy wrapped by the budget-capped
+/// water-filling allocator, one plan cache and one [`AllocationLedger`]
+/// shared across shards. Each sample asserts the merged report *and* the
+/// ledger agree with the first run; `measure` additionally asserts the
+/// 1-worker replay is bit-identical to the 4-worker one — the allocation
+/// must be a function of the chunk structure, never the thread schedule.
+fn run_budget_config(workers: u32) -> (BudgetEntry, SimulationReport, String) {
+    // Fresh cache and ledger per sample: a warm cache would corrupt the
+    // timing, a reused ledger would double-count the grants.
+    let sample = || {
+        let cache = PlanCache::shared();
+        let ledger = AllocationLedger::shared();
+        let builder = PolicyBuilder::new(ChronosPolicyConfig::testbed())
+            .budgeted(SpeculationBudget::Limited(BUDGET_TOKENS))
+            .with_ledger(Arc::clone(&ledger));
+        let runner = ShardedRunner::new(sharded_bench_config(workers)).expect("valid config");
+        let start = Instant::now();
+        let (report, _stats) = runner
+            .run_chunked_planned(&cache, sharded_bench_stream(JOBS), move |_, cache| {
+                builder
+                    .clone()
+                    .cached(cache)
+                    .build(PolicyKind::SpeculativeRestart)
+                    .expect("s-restart accepts a budget")
+            })
+            .expect("simulation completes");
+        (start.elapsed(), report, ledger.digest(), ledger.summary())
+    };
+    let (mut wall, report, digest, summary) = sample();
+    for _ in 1..TIMING_SAMPLES {
+        let (rerun_wall, rerun_report, rerun_digest, rerun_summary) = sample();
+        assert_eq!(
+            report, rerun_report,
+            "run-to-run determinism violated for budget/workers-{workers}"
+        );
+        assert_eq!(
+            (digest.as_str(), summary),
+            (rerun_digest.as_str(), rerun_summary),
+            "run-to-run allocation drift for budget/workers-{workers}"
+        );
+        wall = wall.min(rerun_wall);
+    }
+    assert!(
+        summary.spent < summary.requested,
+        "budget of {BUDGET_TOKENS}/round does not constrain the workload \
+         (granted {} of {} requested copies) — the entry would measure nothing",
+        summary.spent,
+        summary.requested,
+    );
+    assert!(
+        summary.spent <= BUDGET_TOKENS * summary.batches,
+        "allocator overspent its budget: {} copies across {} rounds of {BUDGET_TOKENS}",
+        summary.spent,
+        summary.batches,
+    );
+    let entry = BudgetEntry {
+        name: format!("budget/workers-{workers}"),
+        workers,
+        budget: BUDGET_TOKENS,
+        jobs: report.job_count(),
+        allocation_digest: digest.clone(),
+        requested: summary.requested,
+        spent: summary.spent,
+        batches: summary.batches,
+        pocd: report.pocd(),
+        total_attempts: report.total_attempts(),
+        wall_ms: wall.as_secs_f64() * 1_000.0,
+        events_per_sec: report.events_dispatched as f64 / wall.as_secs_f64().max(1e-9),
+    };
+    (entry, report, digest)
+}
+
 /// Times the serving path: the benchmark workload's jobs submitted to a
 /// live `PlanServer` as an arrival stream (batched to half the queue,
 /// retrying on backpressure), every decision awaited, the server drained.
@@ -417,6 +537,16 @@ fn measure() -> Baseline {
     );
     let plan_cache = run_plan_cache_config(4, &resume_4_report);
     let serve = run_serve_config(8, 64);
+    let (budget, budget_4_report, budget_4_digest) = run_budget_config(4);
+    let (_, budget_1_report, budget_1_digest) = run_budget_config(1);
+    assert_eq!(
+        budget_4_report, budget_1_report,
+        "budget sharding determinism violated: 1-worker and 4-worker budgeted reports differ"
+    );
+    assert_eq!(
+        budget_4_digest, budget_1_digest,
+        "budget allocation determinism violated: the allocation digest depends on the worker count"
+    );
 
     Baseline {
         schema_version: SCHEMA_VERSION,
@@ -424,6 +554,7 @@ fn measure() -> Baseline {
         entries: vec![ns_1, ns_4, resume_4, replay_4],
         plan_cache,
         serve,
+        budget,
     }
 }
 
@@ -471,6 +602,18 @@ fn record(current: &Baseline) {
         serve.p99_us,
         serve.p99_target_us,
         serve.decisions_digest,
+    );
+    let budget = &current.budget;
+    println!(
+        "  {:<24} {:>10.1} ms  {:>12.0} events/s  (granted {}/{} copies over {} rounds at {}/round, digest {})",
+        budget.name,
+        budget.wall_ms,
+        budget.events_per_sec,
+        budget.spent,
+        budget.requested,
+        budget.batches,
+        budget.budget,
+        budget.allocation_digest,
     );
 }
 
@@ -667,6 +810,65 @@ fn check(current: &Baseline) -> Result<(), String> {
         println!("    note: p99 above the recorded SLO target; not a failure, but worth a look");
     }
 
+    // The budget entry mirrors the serve policy: the allocation digest and
+    // the ledger totals are integer-only (copy counts, job ids, round
+    // counts — floats never enter them), so drift is a hard failure: the
+    // allocator granted different copies to different jobs. PoCD and the
+    // attempt count are downstream of float-driven simulation and follow
+    // the loud-tolerate rule.
+    let (stored_budget, current_budget) = (&stored.budget, &current.budget);
+    if stored_budget.name != current_budget.name {
+        return Err(format!(
+            "budget entry changed: stored {} vs current {}; re-record",
+            stored_budget.name, current_budget.name
+        ));
+    }
+    if stored_budget.budget != current_budget.budget
+        || stored_budget.jobs != current_budget.jobs
+        || stored_budget.allocation_digest != current_budget.allocation_digest
+        || stored_budget.requested != current_budget.requested
+        || stored_budget.spent != current_budget.spent
+        || stored_budget.batches != current_budget.batches
+    {
+        return Err(format!(
+            "{}: allocation drifted: stored cap={} jobs={} requested={} spent={} \
+             batches={} digest={}, current cap={} jobs={} requested={} spent={} \
+             batches={} digest={}; the budget allocator's grants changed — \
+             review the change, then re-record",
+            stored_budget.name,
+            stored_budget.budget,
+            stored_budget.jobs,
+            stored_budget.requested,
+            stored_budget.spent,
+            stored_budget.batches,
+            stored_budget.allocation_digest,
+            current_budget.budget,
+            current_budget.jobs,
+            current_budget.requested,
+            current_budget.spent,
+            current_budget.batches,
+            current_budget.allocation_digest,
+        ));
+    }
+    if stored_budget.pocd.to_bits() != current_budget.pocd.to_bits()
+        || stored_budget.total_attempts != current_budget.total_attempts
+    {
+        drifted += 1;
+        println!(
+            "  {}: snapshot drift\n    stored:  attempts={} pocd={}\n    current: attempts={} pocd={}\n    same-host drift means budgeted behaviour changed — re-record and\n    review; cross-host drift (different libm) is expected noise.",
+            stored_budget.name,
+            stored_budget.total_attempts,
+            stored_budget.pocd,
+            current_budget.total_attempts,
+            current_budget.pocd,
+        );
+    }
+    let budget_ratio = current_budget.wall_ms / stored_budget.wall_ms.max(1e-9);
+    println!(
+        "  {:<24} {:>10.1} ms (baseline {:>10.1} ms, x{:.2})",
+        current_budget.name, current_budget.wall_ms, stored_budget.wall_ms, budget_ratio
+    );
+
     if drifted > 0 {
         println!(
             "baseline check OK with {drifted} drifted entr{} (see above; in-process determinism held)",
@@ -674,7 +876,7 @@ fn check(current: &Baseline) -> Result<(), String> {
         );
     } else {
         println!(
-            "baseline check OK ({} entries + plan-cache, deterministic fields stable)",
+            "baseline check OK ({} entries + plan-cache/serve/budget, deterministic fields stable)",
             current.entries.len()
         );
     }

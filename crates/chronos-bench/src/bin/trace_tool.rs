@@ -12,8 +12,8 @@
 //! ```text
 //! trace_tool generate --jobs N --seed S --out trace.csv [--chunk-size C]
 //! trace_tool convert  IN OUT --format google-2011 [--deadline-factor F] [--chunk-size C]
-//! trace_tool replay --trace trace.csv   [--policy P] [--workers W] [--chunk-size C] [--out report.json]
-//! trace_tool replay --jobs N --seed S   [--policy P] [--workers W] [--chunk-size C] [--out report.json]
+//! trace_tool replay --trace trace.csv   [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out report.json]
+//! trace_tool replay --jobs N --seed S   [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out report.json]
 //! trace_tool serve-replay --trace trace.csv [--workers W] [--queue-capacity Q] [--chunk-size C]
 //! trace_tool stats  --trace trace.csv   [--chunk-size C]
 //! ```
@@ -48,6 +48,15 @@
 //! bit-identical to the unplanned path). `stats` prints the
 //! distinct-profile census of a trace — the ceiling on that cache's hit
 //! rate — so the planner benefit can be predicted without replaying.
+//!
+//! `--budget B` caps the speculative copies each planning round may grant
+//! (`unlimited`, the default, reproduces the classic per-job optima
+//! bit-for-bit). Budgeted replays share one `AllocationLedger` across all
+//! shards and print its integer-only allocation digest after the replay;
+//! because the chunk structure — not the thread schedule — determines the
+//! planning rounds, that digest is identical at any `--workers` count
+//! (what CI's `budget-smoke` job pins). Only the optimizing policies can
+//! be budgeted; a finite budget on a baseline is a usage error.
 
 use chronos_serve::prelude::*;
 use chronos_sim::prelude::*;
@@ -69,11 +78,12 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  trace_tool generate --jobs N --seed S --out PATH [--chunk-size C]\n  \
          trace_tool convert IN OUT --format F [--deadline-factor D] [--chunk-size C]\n  \
-         trace_tool replay --trace PATH [--policy P] [--workers W] [--chunk-size C] [--out PATH]\n  \
-         trace_tool replay --jobs N --seed S [--policy P] [--workers W] [--chunk-size C] [--out PATH]\n  \
+         trace_tool replay --trace PATH [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out PATH]\n  \
+         trace_tool replay --jobs N --seed S [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out PATH]\n  \
          trace_tool serve-replay --trace PATH [--workers W] [--queue-capacity Q] [--chunk-size C]\n  \
          trace_tool stats --trace PATH [--chunk-size C]\n\n  \
          policies: hadoop-ns (default), hadoop-s, mantri, clone, s-restart, s-resume\n  \
+         budgets: `unlimited` (default) or a per-round extra-copy cap (optimizing policies only)\n  \
          foreign formats: {}",
         chronos_trace::convert::FORMATS.join(", ")
     );
@@ -188,8 +198,13 @@ fn replay(args: &[String]) -> Result<(), String> {
     let trace: Option<PathBuf> = flag_value(args, "--trace")?;
     let policy_label: String =
         flag_value(args, "--policy")?.unwrap_or_else(|| "hadoop-ns".to_string());
-    let kind = PolicyKind::from_label(&policy_label)
-        .ok_or_else(|| format!("--policy: unknown policy `{policy_label}`"))?;
+    let kind: PolicyKind = policy_label
+        .parse()
+        .map_err(|err| format!("--policy: {err}"))?;
+    let budget: SpeculationBudget = match flag_value::<String>(args, "--budget")? {
+        None => SpeculationBudget::Unlimited,
+        Some(raw) => raw.parse().map_err(|err| format!("--budget: {err}"))?,
+    };
     let chronos_config =
         ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default());
 
@@ -197,9 +212,25 @@ fn replay(args: &[String]) -> Result<(), String> {
         ShardedRunner::new(replay_config(workers)).map_err(|err| format!("config: {err}"))?;
     // Every shard's policy shares this cache: a job profile optimized by
     // any shard is a lookup in every other (the baselines just leave the
-    // counters at zero).
+    // counters at zero). Budgeted replays additionally share one ledger,
+    // so the combined allocation digest is worker-count-invariant.
     let cache = PlanCache::shared();
-    let build = |_shard: u64, cache: Arc<PlanCache>| kind.build_with_cache(chronos_config, &cache);
+    let ledger = AllocationLedger::shared();
+    let builder = PolicyBuilder::new(chronos_config)
+        .budgeted(budget)
+        .with_ledger(Arc::clone(&ledger));
+    // Surface an unbudgetable kind/budget combination as a usage error
+    // before any replay work starts, with the builder's typed message.
+    builder
+        .build(kind)
+        .map_err(|err| format!("--budget: {err}"))?;
+    let build = |_shard: u64, cache: Arc<PlanCache>| {
+        builder
+            .clone()
+            .cached(cache)
+            .build(kind)
+            .expect("kind/budget combination validated above")
+    };
     let (report, stats) = match trace {
         Some(path) => {
             let stream = TraceLoader::open(&path)
@@ -238,6 +269,15 @@ fn replay(args: &[String]) -> Result<(), String> {
             stats.misses,
             100.0 * saved as f64 / jobs.max(1) as f64,
         );
+    }
+    if let Some(tokens) = budget.limit() {
+        let summary = ledger.summary();
+        println!(
+            "speculation budget [{tokens}/round]: granted {} of {} requested copies \
+             across {} rounds ({} jobs, {} infeasible)",
+            summary.spent, summary.requested, summary.batches, summary.jobs, summary.infeasible,
+        );
+        println!("allocation digest: {}", ledger.digest());
     }
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Golden-output tests for the experiment binaries.
 //!
-//! `fig2`, `table1`, `fig3`, `table2`, `fig4` and `fig5` embed fixed
-//! seeds, so their `--quick` JSON artifacts are fully deterministic
+//! `fig2`, `table1`, `fig3`, `table2`, `fig4`, `fig5` and `fig_budget`
+//! embed fixed seeds, so their `--quick` JSON artifacts are fully deterministic
 //! (verified identical across debug and release builds). Each test runs
 //! the real binary into a
 //! scratch results directory and compares the artifact against a
@@ -158,5 +158,15 @@ fn fig5_quick_matches_golden() {
         "fig5",
         "fig5.json",
         "fig5_quick.json",
+    );
+}
+
+#[test]
+fn fig_budget_quick_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig_budget"),
+        "fig_budget",
+        "fig_budget.json",
+        "fig_budget_quick.json",
     );
 }

@@ -22,7 +22,12 @@
 //! * [`Planner`] — `plan` (memoized, bit-identical to an uncached
 //!   `Optimizer::optimize`) and [`Planner::plan_batch`] (deduplicate a
 //!   request slice, solve each distinct profile once across a scoped worker
-//!   pool, scatter results back in input order).
+//!   pool, scatter results back in input order);
+//! * [`budget`] — cluster-wide speculation budgets: [`allocate`] distributes
+//!   a shared copy budget across a batch by deterministic greedy
+//!   water-filling over the per-job closed-form utilities, and an
+//!   [`AllocationLedger`] folds per-batch grants into a
+//!   worker-count-invariant digest.
 //!
 //! The crate sits between `chronos-core` (whose optimizer it wraps) and the
 //! simulation/benchmark layers (whose policies and replay paths consume it);
@@ -72,12 +77,17 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_code)]
 
+pub mod budget;
 pub mod cache;
 pub mod key;
 pub mod planner;
 
 pub mod prelude;
 
+pub use budget::{
+    allocate, Allocation, AllocationLedger, BudgetJob, Grant, LedgerSummary, ParseBudgetError,
+    SpeculationBudget,
+};
 pub use cache::{CacheStats, PlanCache};
 pub use key::{canonical_f64_bits, JobProfileKey, ProfileKey};
 pub use planner::{Plan, PlanRequest, PlanResult, Planner};

@@ -43,6 +43,18 @@
 //!   with deterministic tie-breaking — the decision for a job is a pure
 //!   function of the job and the policy config, independent of worker
 //!   count or scheduling. [`decisions_digest`] hashes that invariant.
+//! * **Budgeting.** The server can run under a cluster-wide
+//!   [`SpeculationBudget`](chronos_plan::SpeculationBudget)
+//!   ([`ServeConfig::with_budget`]): every feasible decision atomically
+//!   debits its optimal copy count from a shared token counter,
+//!   all-or-nothing, and once the tokens cannot cover a job's full grant
+//!   the job is admitted *without* speculation
+//!   ([`AdmissionDecision::budget_denied`]) — mirroring the batch
+//!   simulator's `BudgetedPolicy` semantics at the serving layer. Each
+//!   decision reports the tokens left after its debit
+//!   ([`AdmissionDecision::remaining_budget`]); the field is excluded
+//!   from [`decisions_digest`], which stays worker-count-invariant only
+//!   for unbudgeted servers (finite grants depend on admission order).
 //! * **Latency accounting.** Each worker records enqueue-to-decision
 //!   latency (in **microseconds**) into its own
 //!   [`LatencyHistogram`](chronos_sim::prelude::LatencyHistogram); the
@@ -77,6 +89,7 @@
 pub mod queue;
 pub mod server;
 
+pub use chronos_plan::SpeculationBudget;
 pub use server::{
     decisions_digest, AdmissionDecision, LatencyProbe, PlanServer, Rejected, ServeConfig,
     ServeError, ServeRequest, ServeResponse, ServerStats, Ticket,
@@ -89,4 +102,5 @@ pub mod prelude {
         decisions_digest, AdmissionDecision, LatencyProbe, PlanServer, Rejected, ServeConfig,
         ServeError, ServeRequest, ServeResponse, ServerStats, Ticket,
     };
+    pub use chronos_plan::SpeculationBudget;
 }

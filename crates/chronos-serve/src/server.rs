@@ -3,9 +3,11 @@
 
 use crate::queue::{BoundedQueue, PushError};
 use chronos_core::prelude::*;
-use chronos_plan::{CacheStats, PlanCache, PlanResult, Planner, ProfileKey};
+use chronos_plan::{CacheStats, PlanCache, PlanResult, Planner, ProfileKey, SpeculationBudget};
 use chronos_sim::prelude::{JobId, JobSpec, JobSubmitView, LatencyHistogram};
-use chronos_strategies::prelude::{ChronosPolicyConfig, PolicyPlanner, StrategyTiming};
+use chronos_strategies::prelude::{
+    ChronosPolicyConfig, PolicyBuilder, PolicyPlanner, StrategyTiming,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +48,12 @@ pub struct AdmissionDecision {
     pub dollar_cost: f64,
     /// Net utility at the optimum.
     pub utility: f64,
+    /// The cluster-wide speculation budget left *after* this decision's
+    /// debit, when the server runs under [`SpeculationBudget::Limited`];
+    /// `None` when it runs unbudgeted. Serving-side observability only:
+    /// the field is excluded from [`decisions_digest`], because under a
+    /// finite budget the grant sequence depends on admission order anyway.
+    pub remaining_budget: Option<u64>,
 }
 
 impl AdmissionDecision {
@@ -59,7 +67,17 @@ impl AdmissionDecision {
             pocd: 0.0,
             dollar_cost: 0.0,
             utility: 0.0,
+            remaining_budget: None,
         }
+    }
+
+    /// Whether the cluster-wide speculation budget, not the deadline
+    /// analysis, suppressed this job's speculative copies: the deadline is
+    /// feasible, but no strategy (and no copies) was granted. Such jobs
+    /// are still admitted — they run unspeculated, like under Hadoop-NS.
+    #[must_use]
+    pub fn budget_denied(&self) -> bool {
+        self.feasible && self.strategy.is_none()
     }
 }
 
@@ -147,6 +165,15 @@ pub struct ServeConfig {
     /// cleared wholesale when full — it is a throughput lever, not a
     /// correctness one.
     pub local_memo_capacity: usize,
+    /// The cluster-wide speculation budget: how many extra copies the
+    /// server may grant in total across its lifetime. Under
+    /// [`SpeculationBudget::Limited`] every feasible decision debits its
+    /// optimal copy count atomically, all-or-nothing: a job whose full
+    /// grant no longer fits is admitted *without* speculation (see
+    /// [`AdmissionDecision::budget_denied`]) rather than partially funded
+    /// with copies the closed forms never valued. Unlimited (the default)
+    /// reproduces the historical per-job-optimal decisions exactly.
+    pub budget: SpeculationBudget,
 }
 
 impl ServeConfig {
@@ -161,6 +188,7 @@ impl ServeConfig {
             policy: ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default()),
             probe: LatencyProbe::WallMicros,
             local_memo_capacity: 1_024,
+            budget: SpeculationBudget::Unlimited,
         }
     }
 
@@ -175,6 +203,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_policy(mut self, policy: ChronosPolicyConfig) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Replaces the cluster-wide speculation budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SpeculationBudget) -> Self {
+        self.budget = budget;
         self
     }
 }
@@ -282,6 +317,8 @@ struct ServerShared {
     served: AtomicU64,
     rejected: AtomicU64,
     histograms: Vec<Mutex<LatencyHistogram>>,
+    /// Remaining speculation-budget tokens; `None` when unbudgeted.
+    budget_remaining: Option<AtomicU64>,
 }
 
 /// The worker-side admission planner: builds the per-strategy plan
@@ -297,11 +334,16 @@ struct AdmissionPlanner {
 
 impl AdmissionPlanner {
     fn new(config: &ServeConfig, cache: Arc<PlanCache>) -> Result<Self, ServeError> {
-        let optimizer = Optimizer::with_config(config.policy.objective, config.policy.optimizer)
+        // The same construction path the simulator's budgeted policies use
+        // (`PolicyBuilder`), so online admission and batch replay are
+        // guaranteed to run identical closed forms over the shared cache.
+        let (requests, planner) = PolicyBuilder::new(config.policy)
+            .cached(cache)
+            .admission_parts()
             .map_err(|err| ServeError::InvalidConfig(err.to_string()))?;
         Ok(AdmissionPlanner {
-            requests: PolicyPlanner::uncached(config.policy),
-            planner: Planner::with_cache(optimizer, cache),
+            requests,
+            planner,
             memo: HashMap::new(),
             memo_capacity: config.local_memo_capacity.max(1),
         })
@@ -354,6 +396,7 @@ impl AdmissionPlanner {
                 pocd: outcome.pocd,
                 dollar_cost: outcome.dollar_cost,
                 utility: outcome.utility,
+                remaining_budget: None,
             },
             None => AdmissionDecision::infeasible(),
         }
@@ -411,7 +454,8 @@ impl PlanServer {
         }
         // Validate the optimizer configuration up front: a broken config
         // should fail startup loudly, not turn every decision infeasible.
-        Optimizer::with_config(config.policy.objective, config.policy.optimizer)
+        PolicyBuilder::new(config.policy)
+            .admission_parts()
             .map_err(|err| ServeError::InvalidConfig(err.to_string()))?;
         let shared = Arc::new(ServerShared {
             queue: BoundedQueue::new(config.queue_capacity),
@@ -421,6 +465,10 @@ impl PlanServer {
             histograms: (0..config.workers)
                 .map(|_| Mutex::new(LatencyHistogram::new()))
                 .collect(),
+            budget_remaining: match config.budget {
+                SpeculationBudget::Unlimited => None,
+                SpeculationBudget::Limited(tokens) => Some(AtomicU64::new(tokens)),
+            },
         });
         Ok(PlanServer {
             shared,
@@ -557,7 +605,10 @@ fn worker_loop(shared: &ServerShared, index: usize, config: &ServeConfig) {
             return;
         }
         for item in items {
-            let decision = planner.decide(&item.request.job);
+            let mut decision = planner.decide(&item.request.job);
+            if let Some(remaining) = &shared.budget_remaining {
+                decision = debit_budget(remaining, decision);
+            }
             let micros = match config.probe {
                 LatencyProbe::WallMicros => item.enqueued.elapsed().as_secs_f64() * 1e6,
                 LatencyProbe::SyntheticMicros(f) => f(&item.request.job),
@@ -577,6 +628,52 @@ fn worker_loop(shared: &ServerShared, index: usize, config: &ServeConfig) {
     }
 }
 
+/// Debits a finite speculation budget for one decision, all-or-nothing: a
+/// feasible decision either reserves its full optimal copy count (CAS loop
+/// — workers debit concurrently) or, when the remaining tokens cannot cover
+/// it, is downgraded to admission without speculation. Partial grants are
+/// never made: the closed forms valued the *optimal* `r`, not a truncation
+/// of it, so buying fewer copies than planned would report utilities the
+/// plan no longer earns. Every decision — including infeasible ones, which
+/// cost nothing — reports the tokens left after its debit.
+fn debit_budget(remaining: &AtomicU64, decision: AdmissionDecision) -> AdmissionDecision {
+    let cost = u64::from(decision.copies);
+    let mut current = remaining.load(Ordering::Relaxed);
+    loop {
+        if cost == 0 {
+            return AdmissionDecision {
+                remaining_budget: Some(current),
+                ..decision
+            };
+        }
+        if current < cost {
+            return AdmissionDecision {
+                strategy: None,
+                copies: 0,
+                pocd: 0.0,
+                dollar_cost: 0.0,
+                utility: 0.0,
+                remaining_budget: Some(current),
+                ..decision
+            };
+        }
+        match remaining.compare_exchange_weak(
+            current,
+            current - cost,
+            Ordering::AcqRel,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                return AdmissionDecision {
+                    remaining_budget: Some(current - cost),
+                    ..decision
+                }
+            }
+            Err(observed) => current = observed,
+        }
+    }
+}
+
 /// FNV-1a 64 digest over the batch's *decision* fields (ids, feasibility,
 /// strategy, copy counts), as a hex string. Responses are digested in
 /// ascending `request_id` order, so any submission/completion interleaving
@@ -584,6 +681,11 @@ fn worker_loop(shared: &ServerShared, index: usize, config: &ServeConfig) {
 /// cost, utility) are deliberately excluded: they flow through platform
 /// libm, and this digest is hard-checked across hosts by the baseline's
 /// `--check` mode and CI's `serve-smoke` job.
+/// [`AdmissionDecision::remaining_budget`] is excluded too — it is a
+/// serving-side observability field, and under a finite budget the grant
+/// sequence (and so the digest-relevant `copies` values) already depends on
+/// the order workers admit jobs; only unbudgeted digests are
+/// worker-count-invariant.
 #[must_use]
 pub fn decisions_digest(responses: &[ServeResponse]) -> String {
     let mut ordered: Vec<&ServeResponse> = responses.iter().collect();
@@ -737,6 +839,7 @@ mod tests {
             pocd: 0.9,
             dollar_cost: 10.0,
             utility: -0.1,
+            remaining_budget: None,
         };
         let a = ServeResponse {
             request_id: 0,
@@ -760,5 +863,90 @@ mod tests {
         let mut different = b;
         different.decision.copies = 3;
         assert_ne!(decisions_digest(&[a, b]), decisions_digest(&[a, different]));
+        // `remaining_budget` is observability, not decision: excluded.
+        let mut budget_shift = b;
+        budget_shift.decision.remaining_budget = Some(3);
+        assert_eq!(
+            decisions_digest(&[a, b]),
+            decisions_digest(&[a, budget_shift])
+        );
+    }
+
+    #[test]
+    fn a_finite_budget_drains_all_or_nothing_in_admission_order() {
+        // Learn the per-job optimum from an unbudgeted server first.
+        let server = PlanServer::start(ServeConfig::new(1, 16)).unwrap();
+        let optimal = server.submit_one(request(0, 100.0)).unwrap().wait()[0].decision;
+        let _ = server.shutdown();
+        assert!(optimal.feasible);
+        assert_eq!(optimal.remaining_budget, None);
+        let per_job = u64::from(optimal.copies);
+        assert!(per_job >= 1);
+
+        // Two full grants' worth of tokens, four identical jobs, one
+        // worker: FIFO pop order makes the grant sequence the submission
+        // order, so the test is deterministic.
+        let config = ServeConfig::new(1, 16).with_budget(SpeculationBudget::Limited(2 * per_job));
+        let server = PlanServer::start(config).unwrap();
+        let responses = server
+            .submit((0..4).map(|i| request(i, 100.0)).collect())
+            .unwrap()
+            .wait();
+        let _ = server.shutdown();
+
+        for funded in &responses[..2] {
+            assert_eq!(funded.decision.strategy, optimal.strategy);
+            assert_eq!(funded.decision.copies, optimal.copies);
+            assert!(!funded.decision.budget_denied());
+        }
+        assert_eq!(responses[0].decision.remaining_budget, Some(per_job));
+        assert_eq!(responses[1].decision.remaining_budget, Some(0));
+        for denied in &responses[2..] {
+            assert!(denied.decision.budget_denied());
+            assert!(denied.decision.feasible);
+            assert_eq!(denied.decision.strategy, None);
+            assert_eq!(denied.decision.copies, 0);
+            assert_eq!(denied.decision.remaining_budget, Some(0));
+        }
+    }
+
+    #[test]
+    fn infeasible_jobs_never_debit_the_budget() {
+        let server = PlanServer::start(ServeConfig::new(1, 16)).unwrap();
+        let optimal = server.submit_one(request(0, 100.0)).unwrap().wait()[0].decision;
+        let _ = server.shutdown();
+        let per_job = u64::from(optimal.copies);
+
+        // Exactly one grant's worth of tokens; the infeasible job decided
+        // first must not consume any of it.
+        let config = ServeConfig::new(1, 16).with_budget(SpeculationBudget::Limited(per_job));
+        let server = PlanServer::start(config).unwrap();
+        let responses = server
+            .submit(vec![request(0, 1.0), request(1, 100.0)])
+            .unwrap()
+            .wait();
+        let _ = server.shutdown();
+        assert!(!responses[0].decision.feasible);
+        assert!(!responses[0].decision.budget_denied());
+        assert_eq!(responses[0].decision.remaining_budget, Some(per_job));
+        assert_eq!(responses[1].decision.copies, optimal.copies);
+        assert_eq!(responses[1].decision.remaining_budget, Some(0));
+    }
+
+    #[test]
+    fn a_zero_budget_admits_everything_without_speculation() {
+        let config = ServeConfig::new(2, 16).with_budget(SpeculationBudget::Limited(0));
+        let server = PlanServer::start(config).unwrap();
+        let responses = server
+            .submit((0..4).map(|i| request(i, 100.0)).collect())
+            .unwrap()
+            .wait();
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 4);
+        for response in &responses {
+            assert!(response.decision.budget_denied());
+            assert_eq!(response.decision.copies, 0);
+            assert_eq!(response.decision.remaining_budget, Some(0));
+        }
     }
 }

@@ -59,7 +59,7 @@ use crate::ids::{AttemptId, FastIdHash, JobId, NodeId, TaskId};
 use crate::job::{JobRuntime, JobSpec, TaskRuntime};
 use crate::metrics::{JobMetrics, LatencyHistogram, SimulationReport};
 use crate::policy::{
-    AttemptView, CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy,
+    AttemptView, BatchPlan, CheckSchedule, JobSubmitView, JobView, PolicyAction, SpeculationPolicy,
     SubmitDecision, TaskView,
 };
 use crate::progress::{estimate_completion, estimate_resume_offset};
@@ -163,6 +163,10 @@ pub struct Simulation {
     memo_enabled: bool,
     memo: HashMap<ProfileKey, (SubmitDecision, ScheduleKind), FastIdHash>,
     memo_offsets: Vec<f64>,
+    /// Per-job submit overrides from the policy's [`BatchPlan`]s, consumed
+    /// at arrival. Overridden jobs bypass the profile memo: an override is
+    /// per job id, the memo is per profile.
+    submit_overrides: HashMap<u64, SubmitDecision, FastIdHash>,
     /// Pooled scratch for [`JobView`] snapshots.
     view_tasks_scratch: Vec<TaskView>,
     attempt_vec_pool: Vec<Vec<AttemptView>>,
@@ -179,7 +183,7 @@ impl Simulation {
         config.validate()?;
         let rm = ResourceManager::new(&config.cluster)?;
         let rng = StdRng::seed_from_u64(config.seed);
-        let policy_name = policy.name();
+        let policy_name = policy.name().to_string();
         let memo_enabled = policy.submit_is_profile_pure();
         Ok(Simulation {
             config,
@@ -202,6 +206,7 @@ impl Simulation {
             memo_enabled,
             memo: HashMap::with_hasher(FastIdHash),
             memo_offsets: Vec::new(),
+            submit_overrides: HashMap::with_hasher(FastIdHash),
             view_tasks_scratch: Vec::new(),
             attempt_vec_pool: Vec::new(),
         })
@@ -252,7 +257,9 @@ impl Simulation {
     /// Queues a batch of jobs, then hands the whole batch to the policy's
     /// [`SpeculationPolicy::on_job_batch`] hook so optimizing policies can
     /// plan it in one deduplicated pass (see the hook's docs) before any
-    /// arrival event fires.
+    /// arrival event fires. Per-job overrides in the returned [`BatchPlan`]
+    /// are recorded and applied at the jobs' arrival events in place of
+    /// [`SpeculationPolicy::on_job_submit`].
     ///
     /// # Errors
     ///
@@ -288,9 +295,29 @@ impl Simulation {
         self.task_job_slot.reserve(total_tasks);
         self.task_hot.reserve(total_tasks);
         self.attempts.reserve(total_tasks);
-        self.policy
-            .on_job_batch(&views)
-            .map_err(|err| err.with_context(format_args!("planning a {}-job batch", views.len())))
+        let plan = self.policy.on_job_batch(&views).map_err(|err| {
+            err.with_context(format_args!("planning a {}-job batch", views.len()))
+        })?;
+        self.record_batch_plan(plan)
+    }
+
+    /// Stores a [`BatchPlan`]'s overrides for application at arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the plan overrides a job id
+    /// the engine does not know — the policy planned a job that was never
+    /// queued.
+    fn record_batch_plan(&mut self, plan: BatchPlan) -> Result<(), SimError> {
+        for (job, decision) in plan.overrides() {
+            if !self.job_slots.contains_key(&job.raw()) {
+                return Err(SimError::invalid_config(format!(
+                    "batch plan overrides unknown job {job}"
+                )));
+            }
+            self.submit_overrides.insert(job.raw(), decision);
+        }
+        Ok(())
     }
 
     /// The submit-time snapshot of a spec, as the policy sees it both in
@@ -360,22 +387,32 @@ impl Simulation {
             )
         };
 
-        let (decision, schedule) = if self.memo_enabled {
-            let key = ProfileKey::of(&submit_view);
-            if let Some(&(decision, schedule)) = self.memo.get(&key) {
+        let (decision, schedule) =
+            if let Some(decision) = self.submit_overrides.remove(&job_id.raw()) {
+                // A batch-plan override is the final decision for this job: the
+                // policy hears about it through the replay hook (mirroring its
+                // bookkeeping), and the profile memo is bypassed in both
+                // directions — the override must not be served to other jobs of
+                // the same profile, nor a memoized decision to this job.
                 self.policy.on_job_submit_replayed(&submit_view, decision);
+                let schedule = self.intern_schedule(self.policy.check_schedule(&submit_view));
                 (decision, schedule)
+            } else if self.memo_enabled {
+                let key = ProfileKey::of(&submit_view);
+                if let Some(&(decision, schedule)) = self.memo.get(&key) {
+                    self.policy.on_job_submit_replayed(&submit_view, decision);
+                    (decision, schedule)
+                } else {
+                    let decision = self.policy.on_job_submit(&submit_view);
+                    let schedule = self.intern_schedule(self.policy.check_schedule(&submit_view));
+                    self.memo.insert(key, (decision, schedule));
+                    (decision, schedule)
+                }
             } else {
                 let decision = self.policy.on_job_submit(&submit_view);
                 let schedule = self.intern_schedule(self.policy.check_schedule(&submit_view));
-                self.memo.insert(key, (decision, schedule));
                 (decision, schedule)
-            }
-        } else {
-            let decision = self.policy.on_job_submit(&submit_view);
-            let schedule = self.intern_schedule(self.policy.check_schedule(&submit_view));
-            (decision, schedule)
-        };
+            };
 
         if let Some(r) = decision.reported_r {
             self.chosen_r[slot as usize] = Some(r);
@@ -921,11 +958,11 @@ mod tests {
     }
 
     impl SpeculationPolicy for BatchProbe {
-        fn name(&self) -> String {
-            "batch-probe".to_string()
+        fn name(&self) -> &str {
+            "batch-probe"
         }
 
-        fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+        fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<BatchPlan, SimError> {
             if let Some(bad) = self.fail_on {
                 if jobs.iter().any(|view| view.job == bad) {
                     return Err(SimError::invalid_config("no plan solves this profile")
@@ -936,7 +973,7 @@ mod tests {
                 .lock()
                 .unwrap()
                 .push(jobs.iter().map(|view| view.job).collect());
-            Ok(())
+            Ok(BatchPlan::default())
         }
 
         fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
@@ -1067,8 +1104,8 @@ mod tests {
     }
 
     impl SpeculationPolicy for CloneOnce {
-        fn name(&self) -> String {
-            "clone-once".to_string()
+        fn name(&self) -> &str {
+            "clone-once"
         }
 
         fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
@@ -1210,8 +1247,8 @@ mod tests {
     }
 
     impl SpeculationPolicy for MemoProbe {
-        fn name(&self) -> String {
-            "memo-probe".to_string()
+        fn name(&self) -> &str {
+            "memo-probe"
         }
 
         fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
@@ -1277,13 +1314,134 @@ mod tests {
         assert_eq!(memoized, direct);
     }
 
+    /// Profile-pure policy that overrides chosen jobs through its
+    /// [`BatchPlan`], counting submit vs replay calls: pins that overrides
+    /// are applied, mirrored through the replay hook, and bypass the
+    /// profile memo in both directions.
+    #[derive(Debug)]
+    struct OverridingPolicy {
+        override_ids: Vec<u64>,
+        override_unknown: bool,
+        submits: std::sync::Arc<std::sync::atomic::AtomicU32>,
+        replays: std::sync::Arc<std::sync::Mutex<Vec<(u64, u32)>>>,
+    }
+
+    impl OverridingPolicy {
+        fn new(override_ids: Vec<u64>) -> Self {
+            OverridingPolicy {
+                override_ids,
+                override_unknown: false,
+                submits: Default::default(),
+                replays: Default::default(),
+            }
+        }
+    }
+
+    impl SpeculationPolicy for OverridingPolicy {
+        fn name(&self) -> &str {
+            "override-probe"
+        }
+
+        fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<BatchPlan, SimError> {
+            let mut plan = BatchPlan::new();
+            if self.override_unknown {
+                return Ok(plan.with_override(JobId::new(999), SubmitDecision::default()));
+            }
+            for view in jobs {
+                if self.override_ids.contains(&view.job.raw()) {
+                    plan = plan.with_override(
+                        view.job,
+                        SubmitDecision {
+                            extra_clones_per_task: 2,
+                            reported_r: Some(2),
+                        },
+                    );
+                }
+            }
+            plan.diagnostics.jobs = jobs.len() as u32;
+            plan.diagnostics.overridden = plan.override_count() as u32;
+            Ok(plan)
+        }
+
+        fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
+            self.submits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            SubmitDecision::default()
+        }
+
+        fn submit_is_profile_pure(&self) -> bool {
+            true
+        }
+
+        fn on_job_submit_replayed(&mut self, job: &JobSubmitView, decision: SubmitDecision) {
+            self.replays
+                .lock()
+                .unwrap()
+                .push((job.job.raw(), decision.extra_clones_per_task));
+        }
+
+        fn check_schedule(&self, _job: &JobSubmitView) -> CheckSchedule {
+            CheckSchedule::Never
+        }
+
+        fn on_check(&mut self, _view: &JobView) -> Vec<PolicyAction> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn batch_plan_overrides_replace_submit_and_bypass_the_memo() {
+        use std::sync::atomic::Ordering;
+        let policy = OverridingPolicy::new(vec![1, 2]);
+        let submits = std::sync::Arc::clone(&policy.submits);
+        let replays = std::sync::Arc::clone(&policy.replays);
+        let mut sim = Simulation::new(small_config(13), Box::new(policy)).unwrap();
+        // Four jobs sharing one profile; jobs 1 and 2 are overridden to two
+        // extra clones per task, the others submit normally (zero clones).
+        sim.submit_all((0..4).map(|i| job(i, f64::from(i as u32), 1_000.0, 2)))
+            .unwrap();
+        let report = sim.run().unwrap();
+
+        // Job 0 planned the shared profile once; job 3 replayed it from the
+        // memo; jobs 1 and 2 never reached on_job_submit (their overrides
+        // won) and did not poison the memo for job 3.
+        assert_eq!(submits.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            *replays.lock().unwrap(),
+            vec![(1, 2), (2, 2), (3, 0)],
+            "override replays carry the override; the memo replay carries the planned decision"
+        );
+
+        for (id, metrics) in &report.jobs {
+            let expected = if id.raw() == 1 || id.raw() == 2 {
+                6 // 2 tasks × (1 original + 2 clones)
+            } else {
+                2
+            };
+            assert_eq!(metrics.attempts_launched, expected, "{id}");
+            let expected_r = (id.raw() == 1 || id.raw() == 2).then_some(2);
+            assert_eq!(metrics.chosen_r, expected_r, "{id}");
+        }
+    }
+
+    #[test]
+    fn batch_plan_overriding_an_unknown_job_is_rejected() {
+        let policy = OverridingPolicy {
+            override_unknown: true,
+            ..OverridingPolicy::new(Vec::new())
+        };
+        let mut sim = Simulation::new(small_config(13), Box::new(policy)).unwrap();
+        let err = sim.submit_all(vec![job(0, 0.0, 1_000.0, 1)]).unwrap_err();
+        assert!(err.to_string().contains("unknown job job-999"), "{err}");
+    }
+
     /// Policy that misbehaves by targeting a foreign job's task.
     #[derive(Debug)]
     struct Misbehaving;
 
     impl SpeculationPolicy for Misbehaving {
-        fn name(&self) -> String {
-            "misbehaving".to_string()
+        fn name(&self) -> &str {
+            "misbehaving"
         }
 
         fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {

@@ -7,12 +7,40 @@
 //! the policy for [`PolicyAction`]s. Keeping the policy behind snapshots and
 //! actions keeps baselines and Chronos strategies interchangeable and makes
 //! every policy unit-testable without an engine.
+//!
+//! # Migration: `on_job_batch` returns a [`BatchPlan`] (PR 8)
+//!
+//! [`SpeculationPolicy::on_job_batch`] used to be a side-effect-only hook
+//! returning `Result<(), SimError>`: policies could warm their planners but
+//! had no typed channel to hand batch-level decisions back to the engine.
+//! It now returns a [`BatchPlan`] — per-job [`SubmitDecision`] overrides
+//! plus allocator diagnostics — which the engine applies *before* the
+//! per-job submit calls, so a cluster-level allocator (e.g. the
+//! speculation-budget water-filling in `chronos_plan::budget`) can cap the
+//! whole batch's copies. Porting an existing policy:
+//!
+//! * a policy with no batch-level decisions returns
+//!   `Ok(BatchPlan::default())` where it returned `Ok(())` — the default
+//!   trait impl already does, so policies that never overrode the hook
+//!   compile unchanged;
+//! * a policy that overrides a job's submission inserts the final
+//!   [`SubmitDecision`] via [`BatchPlan::with_override`]; the engine then
+//!   skips [`SpeculationPolicy::on_job_submit`] for that job and calls
+//!   [`SpeculationPolicy::on_job_submit_replayed`] instead, so the policy
+//!   can mirror its bookkeeping (overridden jobs also bypass the engine's
+//!   profile-keyed submit memo: an override is per job id, not per
+//!   profile);
+//! * [`SpeculationPolicy::name`] now returns `&str` — it was `String`, an
+//!   allocation per call for a value `Simulation::new` caches anyway;
+//!   implementations return their literal directly.
 
 use crate::error::SimError;
 use crate::ids::{AttemptId, JobId, TaskId};
 use crate::time::SimTime;
 use chronos_core::Pareto;
+use chronos_plan::SpeculationBudget;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Snapshot of a job at submission time, before any task has been created.
@@ -40,6 +68,77 @@ pub struct SubmitDecision {
     /// the metrics can build the Figure 5 histogram. Baselines without an
     /// optimizer leave this as `None`.
     pub reported_r: Option<u32>,
+}
+
+/// Allocator diagnostics attached to a [`BatchPlan`]: what a batch-level
+/// planner saw and spent. Purely informational — the engine applies only
+/// the overrides — but surfaced so tools can report budget pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BatchDiagnostics {
+    /// Jobs in the planned batch.
+    pub jobs: u32,
+    /// Jobs whose submit decision the plan overrides.
+    pub overridden: u32,
+    /// The speculation budget the batch was planned under.
+    pub budget: SpeculationBudget,
+    /// Total copies the jobs' unconstrained optima would take.
+    pub requested: u64,
+    /// Copies actually granted across the batch.
+    pub spent: u64,
+}
+
+/// The typed result of a batch-planning round: per-job submit overrides
+/// plus [`BatchDiagnostics`]. The engine applies an override *instead of*
+/// calling [`SpeculationPolicy::on_job_submit`] for that job (the policy
+/// hears about it through [`SpeculationPolicy::on_job_submit_replayed`]);
+/// jobs without an override submit exactly as before. An empty plan — the
+/// default — leaves every decision to the per-job path.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchPlan {
+    overrides: BTreeMap<JobId, SubmitDecision>,
+    /// Diagnostics of the planning round that produced this plan.
+    pub diagnostics: BatchDiagnostics,
+}
+
+impl BatchPlan {
+    /// An empty plan: no overrides, default diagnostics.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchPlan::default()
+    }
+
+    /// Adds (or replaces) the final submit decision for `job`.
+    #[must_use]
+    pub fn with_override(mut self, job: JobId, decision: SubmitDecision) -> Self {
+        self.overrides.insert(job, decision);
+        self
+    }
+
+    /// The override for `job`, if the plan carries one.
+    #[must_use]
+    pub fn override_for(&self, job: JobId) -> Option<SubmitDecision> {
+        self.overrides.get(&job).copied()
+    }
+
+    /// Number of jobs this plan overrides.
+    #[must_use]
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+
+    /// True when the plan carries no overrides (the engine then takes the
+    /// pure per-job submit path, memoization included).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// Iterates the overrides in ascending job-id order.
+    pub fn overrides(&self) -> impl Iterator<Item = (JobId, SubmitDecision)> + '_ {
+        self.overrides
+            .iter()
+            .map(|(&job, &decision)| (job, decision))
+    }
 }
 
 /// When the policy wants to be called back for a job.
@@ -209,7 +308,9 @@ pub enum PolicyAction {
 /// Application Master.
 pub trait SpeculationPolicy: fmt::Debug + Send {
     /// Human-readable policy name, used in reports and experiment output.
-    fn name(&self) -> String;
+    /// Borrowed: callers that need ownership copy it once (as
+    /// `Simulation::new` does for the report).
+    fn name(&self) -> &str;
 
     /// Called once per submitted batch (`Simulation::submit_all`), before
     /// any job of the batch arrives, with the submit-time views of every
@@ -217,7 +318,10 @@ pub trait SpeculationPolicy: fmt::Debug + Send {
     /// planning: deduplicate the batch by job profile and solve each
     /// distinct profile once (through a `chronos-plan` planner), so the
     /// per-job [`SpeculationPolicy::on_job_submit`] calls become cache
-    /// lookups instead of closed-form solves. The default does nothing.
+    /// lookups instead of closed-form solves. Batch-level allocators
+    /// additionally return per-job overrides in the [`BatchPlan`] (see the
+    /// module docs' migration notes); the default plans nothing and
+    /// overrides nothing.
     ///
     /// # Errors
     ///
@@ -227,9 +331,9 @@ pub trait SpeculationPolicy: fmt::Debug + Send {
     /// never fail here — per-job planning errors are memoized and resolved
     /// to the configured fallback `r` at submission, exactly as on the
     /// unbatched path.
-    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<BatchPlan, SimError> {
         let _ = jobs;
-        Ok(())
+        Ok(BatchPlan::default())
     }
 
     /// Called once when a job is submitted. The policy typically runs the
@@ -252,11 +356,12 @@ pub trait SpeculationPolicy: fmt::Debug + Send {
     }
 
     /// Called instead of [`SpeculationPolicy::on_job_submit`] when the
-    /// engine replays a memoized submit decision for a profile-pure policy
-    /// (see [`SpeculationPolicy::submit_is_profile_pure`]). Policies that
-    /// record per-job state at submission — e.g. the chosen `r` consulted
-    /// at later check points — must mirror that bookkeeping here. The
-    /// default does nothing.
+    /// engine replays an already-decided submission: a memoized decision
+    /// for a profile-pure policy (see
+    /// [`SpeculationPolicy::submit_is_profile_pure`]) or a [`BatchPlan`]
+    /// override. Policies that record per-job state at submission — e.g.
+    /// the chosen `r` consulted at later check points — must mirror that
+    /// bookkeeping here. The default does nothing.
     fn on_job_submit_replayed(&mut self, job: &JobSubmitView, decision: SubmitDecision) {
         let _ = (job, decision);
     }
@@ -275,8 +380,8 @@ pub trait SpeculationPolicy: fmt::Debug + Send {
 pub struct NoSpeculation;
 
 impl SpeculationPolicy for NoSpeculation {
-    fn name(&self) -> String {
-        "hadoop-ns".to_string()
+    fn name(&self) -> &str {
+        "hadoop-ns"
     }
 
     fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {

@@ -10,8 +10,8 @@ pub use crate::ids::{AttemptId, JobId, NodeId, TaskId};
 pub use crate::job::{JobRuntime, JobSpec, TaskRuntime, TaskSpec};
 pub use crate::metrics::{JobMetrics, LatencyHistogram, SimulationReport};
 pub use crate::policy::{
-    AttemptView, CheckSchedule, JobSubmitView, JobView, NoSpeculation, PolicyAction,
-    SpeculationPolicy, SubmitDecision, TaskView,
+    AttemptView, BatchDiagnostics, BatchPlan, CheckSchedule, JobSubmitView, JobView, NoSpeculation,
+    PolicyAction, SpeculationPolicy, SubmitDecision, TaskView,
 };
 pub use crate::progress::{
     estimate_completion, estimate_completion_chronos, estimate_completion_hadoop,
@@ -22,4 +22,4 @@ pub use crate::time::{SimDuration, SimTime};
 // The planner types the sharded runner's planner-backed path exchanges with
 // policies; re-exported so policy implementors need no direct
 // `chronos-plan` dependency.
-pub use chronos_plan::{CacheStats, PlanCache, PlanRequest, Planner};
+pub use chronos_plan::{CacheStats, PlanCache, PlanRequest, Planner, SpeculationBudget};

@@ -713,15 +713,18 @@ mod tests {
     }
 
     impl SpeculationPolicy for PlanningProbe {
-        fn name(&self) -> String {
-            "planning-probe".to_string()
+        fn name(&self) -> &str {
+            "planning-probe"
         }
 
-        fn on_job_batch(&mut self, jobs: &[crate::policy::JobSubmitView]) -> Result<(), SimError> {
+        fn on_job_batch(
+            &mut self,
+            jobs: &[crate::policy::JobSubmitView],
+        ) -> Result<crate::policy::BatchPlan, SimError> {
             let requests: Vec<chronos_plan::PlanRequest> =
                 jobs.iter().filter_map(Self::request_of).collect();
             let _ = self.planner.plan_batch(&requests, 1);
-            Ok(())
+            Ok(crate::policy::BatchPlan::default())
         }
 
         fn on_job_submit(

@@ -4,8 +4,8 @@
 use crate::common::{ChronosPolicyConfig, PolicyPlanner};
 use chronos_core::StrategyKind;
 use chronos_sim::prelude::{
-    CheckSchedule, JobSubmitView, JobView, PlanCache, PolicyAction, SimError, SpeculationPolicy,
-    SubmitDecision,
+    BatchPlan, CheckSchedule, JobSubmitView, JobView, PlanCache, PolicyAction, SimError,
+    SpeculationPolicy, SubmitDecision,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -77,13 +77,13 @@ impl ClonePolicy {
 }
 
 impl SpeculationPolicy for ClonePolicy {
-    fn name(&self) -> String {
-        "clone".to_string()
+    fn name(&self) -> &str {
+        "clone"
     }
 
-    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<BatchPlan, SimError> {
         self.planner.warm_batch(jobs, StrategyKind::Clone);
-        Ok(())
+        Ok(BatchPlan::default())
     }
 
     fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision {

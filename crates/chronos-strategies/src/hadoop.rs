@@ -47,8 +47,8 @@ impl Default for HadoopSpeculate {
 }
 
 impl SpeculationPolicy for HadoopSpeculate {
-    fn name(&self) -> String {
-        "hadoop-s".to_string()
+    fn name(&self) -> &str {
+        "hadoop-s"
     }
 
     fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {

@@ -32,6 +32,7 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_code)]
 
+pub mod budget;
 pub mod clone;
 pub mod common;
 pub mod hadoop;
@@ -42,6 +43,7 @@ pub mod timing;
 
 pub mod prelude;
 
+pub use budget::{BudgetedPolicy, PolicyBuildError, PolicyBuilder};
 pub use clone::ClonePolicy;
 pub use common::{expected_straggler_progress, ChronosPolicyConfig, PolicyPlanner};
 pub use hadoop::{HadoopNoSpec, HadoopSpeculate};
@@ -96,26 +98,20 @@ impl PolicyKind {
     }
 
     /// Looks a policy up by its [`PolicyKind::label`] (as accepted by the
-    /// experiment binaries' `--policy` flags).
+    /// experiment binaries' `--policy` flags). The [`std::str::FromStr`]
+    /// impl is the same lookup with a typed error naming the bad label.
     #[must_use]
     pub fn from_label(label: &str) -> Option<PolicyKind> {
-        PolicyKind::ALL
-            .into_iter()
-            .find(|kind| kind.label() == label)
+        label.parse().ok()
     }
 
     /// Instantiates the policy. Chronos strategies use `config`; baselines
-    /// ignore it.
+    /// ignore it. Shorthand for an option-free [`PolicyBuilder`].
     #[must_use]
     pub fn build(&self, config: ChronosPolicyConfig) -> Box<dyn SpeculationPolicy> {
-        match self {
-            PolicyKind::HadoopNoSpec => Box::new(HadoopNoSpec::default()),
-            PolicyKind::HadoopSpeculate => Box::new(HadoopSpeculate::default()),
-            PolicyKind::Mantri => Box::new(MantriPolicy::default()),
-            PolicyKind::Clone => Box::new(ClonePolicy::new(config)),
-            PolicyKind::SpeculativeRestart => Box::new(RestartPolicy::new(config)),
-            PolicyKind::SpeculativeResume => Box::new(ResumePolicy::new(config)),
-        }
+        PolicyBuilder::new(config)
+            .build(*self)
+            .expect("unbudgeted builds are infallible")
     }
 
     /// Instantiates the policy over a shared plan cache: the Chronos
@@ -123,23 +119,60 @@ impl PolicyKind {
     /// so one cache handed to a whole line-up — or to every shard of a
     /// sharded replay — solves each distinct `(profile, strategy,
     /// objective)` combination exactly once. Baselines ignore both
-    /// arguments; handing them a cache is harmless.
+    /// arguments; handing them a cache is harmless. Shorthand for
+    /// [`PolicyBuilder::cached`].
     #[must_use]
     pub fn build_with_cache(
         &self,
         config: ChronosPolicyConfig,
         cache: &Arc<PlanCache>,
     ) -> Box<dyn SpeculationPolicy> {
-        match self {
-            PolicyKind::Clone => Box::new(ClonePolicy::with_cache(config, Arc::clone(cache))),
-            PolicyKind::SpeculativeRestart => {
-                Box::new(RestartPolicy::with_cache(config, Arc::clone(cache)))
-            }
-            PolicyKind::SpeculativeResume => {
-                Box::new(ResumePolicy::with_cache(config, Arc::clone(cache)))
-            }
-            baseline => baseline.build(config),
+        PolicyBuilder::new(config)
+            .cached(Arc::clone(cache))
+            .build(*self)
+            .expect("unbudgeted builds are infallible")
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    /// Prints the [`PolicyKind::label`]; `Display` and [`std::str::FromStr`]
+    /// round-trip.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The typed error of parsing a [`PolicyKind`] from a label, naming the bad
+/// input and the accepted labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyKindError {
+    /// The label that matched no policy.
+    pub label: String,
+}
+
+impl std::fmt::Display for ParsePolicyKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown policy `{}` (expected one of:", self.label)?;
+        for (index, kind) in PolicyKind::ALL.iter().enumerate() {
+            let separator = if index == 0 { " " } else { ", " };
+            write!(f, "{separator}{}", kind.label())?;
         }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParsePolicyKindError {}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = ParsePolicyKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicyKind::ALL
+            .into_iter()
+            .find(|kind| kind.label() == s)
+            .ok_or_else(|| ParsePolicyKindError {
+                label: s.to_string(),
+            })
     }
 }
 
@@ -153,6 +186,19 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), PolicyKind::ALL.len());
+    }
+
+    #[test]
+    fn labels_parse_and_display_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.to_string(), kind.label());
+            assert_eq!(kind.label().parse::<PolicyKind>().unwrap(), kind);
+            assert_eq!(PolicyKind::from_label(kind.label()), Some(kind));
+        }
+        let err = "late".parse::<PolicyKind>().unwrap_err();
+        assert!(err.to_string().contains("`late`"), "{err}");
+        assert!(err.to_string().contains("s-restart"), "{err}");
+        assert_eq!(PolicyKind::from_label("late"), None);
     }
 
     #[test]

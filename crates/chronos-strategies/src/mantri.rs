@@ -73,8 +73,8 @@ impl Default for MantriPolicy {
 }
 
 impl SpeculationPolicy for MantriPolicy {
-    fn name(&self) -> String {
-        "mantri".to_string()
+    fn name(&self) -> &str {
+        "mantri"
     }
 
     fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {

@@ -1,5 +1,6 @@
 //! Convenience re-exports for building strategy line-ups.
 
+pub use crate::budget::{BudgetedPolicy, PolicyBuildError, PolicyBuilder};
 pub use crate::clone::ClonePolicy;
 pub use crate::common::{expected_straggler_progress, ChronosPolicyConfig, PolicyPlanner};
 pub use crate::hadoop::{HadoopNoSpec, HadoopSpeculate};
@@ -7,5 +8,6 @@ pub use crate::mantri::MantriPolicy;
 pub use crate::restart::RestartPolicy;
 pub use crate::resume::ResumePolicy;
 pub use crate::timing::{StrategyTiming, Timing};
-pub use crate::PolicyKind;
+pub use crate::{ParsePolicyKindError, PolicyKind};
+pub use chronos_plan::{AllocationLedger, LedgerSummary, SpeculationBudget};
 pub use chronos_sim::prelude::SpeculationPolicy;

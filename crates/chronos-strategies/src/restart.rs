@@ -5,8 +5,8 @@
 use crate::common::{is_straggler, prune_keep_candidate, ChronosPolicyConfig, PolicyPlanner};
 use chronos_core::StrategyKind;
 use chronos_sim::prelude::{
-    CheckSchedule, JobSubmitView, JobView, PlanCache, PolicyAction, SimError, SpeculationPolicy,
-    SubmitDecision,
+    BatchPlan, CheckSchedule, JobSubmitView, JobView, PlanCache, PolicyAction, SimError,
+    SpeculationPolicy, SubmitDecision,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -79,14 +79,14 @@ impl RestartPolicy {
 }
 
 impl SpeculationPolicy for RestartPolicy {
-    fn name(&self) -> String {
-        "s-restart".to_string()
+    fn name(&self) -> &str {
+        "s-restart"
     }
 
-    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<BatchPlan, SimError> {
         self.planner
             .warm_batch(jobs, StrategyKind::SpeculativeRestart);
-        Ok(())
+        Ok(BatchPlan::default())
     }
 
     fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision {

@@ -5,8 +5,8 @@
 use crate::common::{is_straggler, prune_keep_candidate, ChronosPolicyConfig, PolicyPlanner};
 use chronos_core::StrategyKind;
 use chronos_sim::prelude::{
-    CheckSchedule, JobSubmitView, JobView, PlanCache, PolicyAction, SimError, SpeculationPolicy,
-    SubmitDecision, TaskView,
+    BatchPlan, CheckSchedule, JobSubmitView, JobView, PlanCache, PolicyAction, SimError,
+    SpeculationPolicy, SubmitDecision, TaskView,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -131,14 +131,14 @@ fn resume_offset_for(task: &TaskView) -> f64 {
 }
 
 impl SpeculationPolicy for ResumePolicy {
-    fn name(&self) -> String {
-        "s-resume".to_string()
+    fn name(&self) -> &str {
+        "s-resume"
     }
 
-    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<(), SimError> {
+    fn on_job_batch(&mut self, jobs: &[JobSubmitView]) -> Result<BatchPlan, SimError> {
         self.planner
             .warm_batch(jobs, StrategyKind::SpeculativeResume);
-        Ok(())
+        Ok(BatchPlan::default())
     }
 
     fn on_job_submit(&mut self, job: &JobSubmitView) -> SubmitDecision {

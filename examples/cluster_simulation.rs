@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "policy", "PoCD", "cost (VM-s)", "utility", "attempts"
     );
     for policy in policies {
-        let name = policy.name();
+        let name = policy.name().to_string();
         let mut sim = Simulation::new(sim_config.clone(), policy)?;
         sim.submit_all(jobs.clone())?;
         let report = sim.run()?;

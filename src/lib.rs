@@ -56,8 +56,9 @@ pub use chronos_trace as trace;
 pub mod prelude {
     pub use chronos_core::prelude::*;
     pub use chronos_plan::prelude::{
-        canonical_f64_bits, CacheStats, JobProfileKey, Plan, PlanCache, PlanRequest, PlanResult,
-        Planner, ProfileKey,
+        allocate, canonical_f64_bits, Allocation, AllocationLedger, BudgetJob, CacheStats, Grant,
+        JobProfileKey, LedgerSummary, Plan, PlanCache, PlanRequest, PlanResult, Planner,
+        ProfileKey, SpeculationBudget,
     };
     pub use chronos_serve::prelude::{
         decisions_digest, AdmissionDecision, LatencyProbe, PlanServer, ServeConfig, ServeError,
@@ -69,7 +70,8 @@ pub mod prelude {
         SimulationReport, SpeculationPolicy, TaskSpec,
     };
     pub use chronos_strategies::prelude::{
-        ChronosPolicyConfig, ClonePolicy, HadoopNoSpec, HadoopSpeculate, MantriPolicy, PolicyKind,
+        BudgetedPolicy, ChronosPolicyConfig, ClonePolicy, HadoopNoSpec, HadoopSpeculate,
+        MantriPolicy, ParsePolicyKindError, PolicyBuildError, PolicyBuilder, PolicyKind,
         PolicyPlanner, RestartPolicy, ResumePolicy, StrategyTiming, Timing,
     };
     pub use chronos_trace::prelude::{

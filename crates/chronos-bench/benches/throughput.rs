@@ -78,12 +78,50 @@ fn bench_replay_throughput(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(dir);
 }
 
+/// The observability tax: the identical sharded workload with the decision
+/// recorder off (`run_chunked`, the default everywhere) vs on
+/// (`run_chunked_observed`). The disabled path is a single never-taken
+/// branch per emission site, so `recorder-off` must track
+/// `sharded-throughput/workers/4` — a drift here means recording stopped
+/// being zero-cost when disabled. `recorder-on` prices what `--decision-log`
+/// actually costs.
+fn bench_observability_overhead(c: &mut Criterion) {
+    let jobs: u32 = if smoke() { 500 } else { 10_000 };
+    let mut group = c.benchmark_group(format!("observability-overhead-{jobs}-jobs"));
+    if smoke() {
+        group.sample_size(1);
+        group.measurement_time(Duration::from_millis(1));
+    }
+    let runner = ShardedRunner::new(sharded_bench_config(4)).expect("valid config");
+    group.bench_function(BenchmarkId::new("recorder", "off"), |b| {
+        b.iter(|| {
+            runner
+                .run_chunked(sharded_bench_stream(jobs), |_| {
+                    Box::new(HadoopNoSpec::default())
+                })
+                .expect("simulation")
+        })
+    });
+    group.bench_function(BenchmarkId::new("recorder", "on"), |b| {
+        b.iter(|| {
+            runner
+                .run_chunked_observed(
+                    sharded_bench_stream(jobs),
+                    |_| Box::new(HadoopNoSpec::default()),
+                    None,
+                )
+                .expect("simulation")
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(if std::env::var_os("CHRONOS_BENCH_SMOKE").is_some() { 1 } else { 500 }))
         .measurement_time(Duration::from_secs(2))
         .sample_size(10);
-    targets = bench_sharded_throughput, bench_replay_throughput
+    targets = bench_sharded_throughput, bench_replay_throughput, bench_observability_overhead
 );
 criterion_main!(benches);

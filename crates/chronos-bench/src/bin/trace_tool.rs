@@ -12,11 +12,24 @@
 //! ```text
 //! trace_tool generate --jobs N --seed S --out trace.csv [--chunk-size C]
 //! trace_tool convert  IN OUT --format google-2011 [--deadline-factor F] [--chunk-size C]
-//! trace_tool replay --trace trace.csv   [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out report.json]
-//! trace_tool replay --jobs N --seed S   [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out report.json]
-//! trace_tool serve-replay --trace trace.csv [--workers W] [--queue-capacity Q] [--chunk-size C]
+//! trace_tool replay --trace trace.csv   [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out report.json] [--metrics-out m.prom] [--decision-log d.log]
+//! trace_tool replay --jobs N --seed S   [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out report.json] [--metrics-out m.prom] [--decision-log d.log]
+//! trace_tool serve-replay --trace trace.csv [--workers W] [--queue-capacity Q] [--chunk-size C] [--metrics-out m.prom] [--decision-log d.log]
 //! trace_tool stats  --trace trace.csv   [--chunk-size C]
 //! ```
+//!
+//! Every summary line printed below comes from [`chronos_bench::format`] —
+//! the single formatter CI's grep-based smoke jobs pin — so `replay`,
+//! `serve-replay`, `convert` and `stats` cannot drift apart.
+//!
+//! `--metrics-out FILE` writes a Prometheus text-format snapshot of the
+//! run (simulation counters and latency histogram, plan-cache counters,
+//! budget ledger totals when budgeted; serve counters for `serve-replay`).
+//! `--decision-log FILE` enables the deterministic decision trace, writes
+//! the greppable event log to FILE and prints its FNV-1a digest — the
+//! digest and the log bytes are worker-count-invariant (what CI's
+//! `obs-smoke` job pins); recording is off (and costs nothing) without the
+//! flag.
 //!
 //! `serve-replay` feeds the trace's jobs through the `chronos-serve`
 //! admission-control planning server as an arrival stream and prints the
@@ -58,6 +71,7 @@
 //! (what CI's `budget-smoke` job pins). Only the optimizing policies can
 //! be budgeted; a finite budget on a baseline is a usage error.
 
+use chronos_bench::format as fmt;
 use chronos_serve::prelude::*;
 use chronos_sim::prelude::*;
 use chronos_strategies::prelude::*;
@@ -78,9 +92,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  trace_tool generate --jobs N --seed S --out PATH [--chunk-size C]\n  \
          trace_tool convert IN OUT --format F [--deadline-factor D] [--chunk-size C]\n  \
-         trace_tool replay --trace PATH [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out PATH]\n  \
-         trace_tool replay --jobs N --seed S [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out PATH]\n  \
-         trace_tool serve-replay --trace PATH [--workers W] [--queue-capacity Q] [--chunk-size C]\n  \
+         trace_tool replay --trace PATH [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out PATH] [--metrics-out PATH] [--decision-log PATH]\n  \
+         trace_tool replay --jobs N --seed S [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out PATH] [--metrics-out PATH] [--decision-log PATH]\n  \
+         trace_tool serve-replay --trace PATH [--workers W] [--queue-capacity Q] [--chunk-size C] [--metrics-out PATH] [--decision-log PATH]\n  \
          trace_tool stats --trace PATH [--chunk-size C]\n\n  \
          policies: hadoop-ns (default), hadoop-s, mantri, clone, s-restart, s-resume\n  \
          budgets: `unlimited` (default) or a per-round extra-copy cap (optimizing policies only)\n  \
@@ -195,6 +209,8 @@ fn replay(args: &[String]) -> Result<(), String> {
     let workers = nonzero_flag_value(args, "--workers", 4)?;
     let chunk_size = nonzero_flag_value(args, "--chunk-size", DEFAULT_CHUNK_SIZE)?;
     let out: Option<PathBuf> = flag_value(args, "--out")?;
+    let metrics_out: Option<PathBuf> = flag_value(args, "--metrics-out")?;
+    let decision_log: Option<PathBuf> = flag_value(args, "--decision-log")?;
     let trace: Option<PathBuf> = flag_value(args, "--trace")?;
     let policy_label: String =
         flag_value(args, "--policy")?.unwrap_or_else(|| "hadoop-ns".to_string());
@@ -231,15 +247,27 @@ fn replay(args: &[String]) -> Result<(), String> {
             .build(kind)
             .expect("kind/budget combination validated above")
     };
-    let (report, stats) = match trace {
+    // The decision trace records only when asked for: without
+    // `--decision-log` the replay takes the exact unobserved path it always
+    // took, so reports, digests and cache counters cannot move.
+    let observe = decision_log.is_some();
+    let (report, stats, decision_trace) = match trace {
         Some(path) => {
             let stream = TraceLoader::open(&path)
                 .map_err(|err| format!("opening {}: {err}", path.display()))?
                 .stream(chunk_size)
                 .map_err(|err| err.to_string())?;
-            runner
-                .run_chunked_fallible_planned(&cache, stream, build)
-                .map_err(|err| format!("replaying {}: {err}", path.display()))?
+            if observe {
+                let (report, stats, decision_trace) = runner
+                    .run_chunked_fallible_planned_observed(&cache, stream, build, None)
+                    .map_err(|err| format!("replaying {}: {err}", path.display()))?;
+                (report, stats, Some(decision_trace))
+            } else {
+                let (report, stats) = runner
+                    .run_chunked_fallible_planned(&cache, stream, build)
+                    .map_err(|err| format!("replaying {}: {err}", path.display()))?;
+                (report, stats, None)
+            }
         }
         None => {
             let jobs: u32 = flag_value(args, "--jobs")?.ok_or("replay needs --trace or --jobs")?;
@@ -247,37 +275,61 @@ fn replay(args: &[String]) -> Result<(), String> {
             let stream = GoogleTraceConfig::scaled(jobs, seed)
                 .stream(chunk_size)
                 .map_err(|err| format!("trace generation: {err}"))?;
-            runner
-                .run_chunked_planned(&cache, stream, build)
-                .map_err(|err| format!("replaying in-memory trace: {err}"))?
+            if observe {
+                let (report, stats, decision_trace) = runner
+                    .run_chunked_fallible_planned_observed(
+                        &cache,
+                        stream.map(Ok::<_, SimError>),
+                        build,
+                        None,
+                    )
+                    .map_err(|err| format!("replaying in-memory trace: {err}"))?;
+                (report, stats, Some(decision_trace))
+            } else {
+                let (report, stats) = runner
+                    .run_chunked_planned(&cache, stream, build)
+                    .map_err(|err| format!("replaying in-memory trace: {err}"))?;
+                (report, stats, None)
+            }
         }
     };
     write_report(&report, out.as_deref())?;
     if stats.lookups() == 0 {
-        println!(
-            "plan cache [{}]: policy does not optimize; cache untouched",
-            kind.label()
-        );
+        println!("{}", fmt::plan_cache_untouched_line(kind.label()));
     } else {
-        // `misses` is the number of optimizer solves actually paid (one per
-        // distinct profile); every other job reused a plan.
-        let jobs = report.job_count() as u64;
-        let saved = jobs.saturating_sub(stats.misses);
         println!(
-            "plan cache [{}]: {} optimizer solves for {jobs} jobs ({:.2}% saved); {stats}",
-            kind.label(),
-            stats.misses,
-            100.0 * saved as f64 / jobs.max(1) as f64,
+            "{}",
+            fmt::plan_cache_line(
+                kind.label(),
+                stats.misses,
+                report.job_count() as u64,
+                &stats
+            )
         );
     }
     if let Some(tokens) = budget.limit() {
         let summary = ledger.summary();
+        println!("{}", fmt::budget_summary_line(tokens, &summary));
+        println!("{}", fmt::allocation_digest_line(&ledger.digest()));
+    }
+    if let Some(path) = &decision_log {
+        let decision_trace = decision_trace.expect("observed path ran when --decision-log is set");
+        std::fs::write(path, decision_trace.render_log())
+            .map_err(|err| format!("writing {}: {err}", path.display()))?;
         println!(
-            "speculation budget [{tokens}/round]: granted {} of {} requested copies \
-             across {} rounds ({} jobs, {} infeasible)",
-            summary.spent, summary.requested, summary.batches, summary.jobs, summary.infeasible,
+            "{}",
+            fmt::decision_trace_digest_line(&decision_trace.digest())
         );
-        println!("allocation digest: {}", ledger.digest());
+    }
+    if let Some(path) = &metrics_out {
+        let mut registry = MetricsRegistry::new();
+        report.export_metrics(&mut registry);
+        stats.export_metrics(&mut registry);
+        if budget.limit().is_some() {
+            ledger.summary().export_metrics(&mut registry);
+        }
+        std::fs::write(path, registry.render_prometheus())
+            .map_err(|err| format!("writing {}: {err}", path.display()))?;
     }
     Ok(())
 }
@@ -297,6 +349,8 @@ fn serve_replay(args: &[String]) -> Result<(), String> {
     let workers = nonzero_flag_value(args, "--workers", 4)?;
     let queue_capacity = nonzero_flag_value(args, "--queue-capacity", 64)? as usize;
     let chunk_size = nonzero_flag_value(args, "--chunk-size", DEFAULT_CHUNK_SIZE)?;
+    let metrics_out: Option<PathBuf> = flag_value(args, "--metrics-out")?;
+    let decision_log: Option<PathBuf> = flag_value(args, "--decision-log")?;
 
     let stream = TraceLoader::open(&trace)
         .map_err(|err| format!("opening {}: {err}", trace.display()))?
@@ -307,8 +361,14 @@ fn serve_replay(args: &[String]) -> Result<(), String> {
         jobs.extend(chunk.map_err(|err| format!("parsing {}: {err}", trace.display()))?);
     }
 
-    let server = PlanServer::start(ServeConfig::new(workers, queue_capacity))
-        .map_err(|err| format!("starting server: {err}"))?;
+    let mut config = ServeConfig::new(workers, queue_capacity);
+    if decision_log.is_some() {
+        // One record per admission plus headroom for overload events (the
+        // retry loop below makes their count load-dependent; the admission
+        // records and their ordering stay deterministic regardless).
+        config = config.with_decision_trace(jobs.len() * 2 + 16);
+    }
+    let server = PlanServer::start(config).map_err(|err| format!("starting server: {err}"))?;
     // Submit in batches of at most half the queue so two submitters'
     // worth of work fits; retry on Overloaded — backpressure is the
     // server's contract, the overload policy is ours.
@@ -340,7 +400,12 @@ fn serve_replay(args: &[String]) -> Result<(), String> {
         .into_iter()
         .flat_map(|ticket| ticket.wait())
         .collect();
-    let stats = server.shutdown();
+    let (stats, decision_trace) = if decision_log.is_some() {
+        let (stats, decision_trace) = server.shutdown_with_trace();
+        (stats, Some(decision_trace))
+    } else {
+        (server.shutdown(), None)
+    };
     responses.sort_unstable_by_key(|response| response.request_id);
 
     let feasible = responses
@@ -348,23 +413,34 @@ fn serve_replay(args: &[String]) -> Result<(), String> {
         .filter(|response| response.decision.feasible)
         .count();
     println!(
-        "planned {} jobs at {workers} workers ({feasible} feasible)",
-        responses.len()
+        "{}",
+        fmt::planned_jobs_line(responses.len(), workers, feasible)
     );
-    println!("decisions digest: {}", decisions_digest(&responses));
-    let quantile = |q: f64| {
-        stats
-            .latency
-            .quantile_upper_bound(q)
-            .map_or_else(|| "n/a".to_string(), |us| format!("{us:.0} us"))
-    };
     println!(
-        "latency (informational): p50 <= {}, p99 <= {}, saturated: {}",
-        quantile(0.5),
-        quantile(0.99),
-        stats.latency.saturated()
+        "{}",
+        fmt::decisions_digest_line(&decisions_digest(&responses))
     );
-    println!("plan cache: {}", stats.cache);
+    if let Some(path) = &decision_log {
+        // Admission records are sorted by request id at collection, so —
+        // like `decisions_digest` — log and digest are worker-count
+        // invariant as long as no submission was rejected (overload events
+        // are load-dependent by nature and sort last).
+        let decision_trace = decision_trace.expect("trace enabled when --decision-log is set");
+        std::fs::write(path, decision_trace.render_log())
+            .map_err(|err| format!("writing {}: {err}", path.display()))?;
+        println!(
+            "{}",
+            fmt::decision_trace_digest_line(&decision_trace.digest())
+        );
+    }
+    if let Some(path) = &metrics_out {
+        let mut registry = MetricsRegistry::new();
+        stats.export_metrics(&mut registry);
+        std::fs::write(path, registry.render_prometheus())
+            .map_err(|err| format!("writing {}: {err}", path.display()))?;
+    }
+    println!("{}", fmt::serve_latency_line(&stats.latency));
+    println!("{}", fmt::serve_cache_line(&stats.cache));
     Ok(())
 }
 
@@ -380,16 +456,7 @@ fn print_census(trace: &Path, chunk_size: u32) -> Result<(), String> {
         let chunk = chunk.map_err(|err| format!("parsing {}: {err}", trace.display()))?;
         census.observe_all(&chunk);
     }
-    let summary = census.summary();
-    println!("trace:             {}", trace.display());
-    println!("jobs:              {}", summary.jobs);
-    println!("distinct profiles: {}", summary.distinct_profiles);
-    println!("unplannable jobs:  {}", summary.unplannable_jobs);
-    println!("largest class:     {} jobs", summary.largest_class);
-    println!(
-        "max cache hit rate: {:.2}% (a planner-backed replay can skip at most this fraction of optimizer solves)",
-        100.0 * summary.max_hit_rate
-    );
+    println!("{}", fmt::census_block(trace, &census.summary()));
     Ok(())
 }
 

@@ -25,6 +25,8 @@
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_code)]
 
+pub mod format;
+
 use chronos_sim::prelude::*;
 use chronos_strategies::prelude::*;
 use chronos_trace::prelude::{

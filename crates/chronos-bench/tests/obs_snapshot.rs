@@ -1,0 +1,98 @@
+//! The observability determinism gate: replaying the checked-in converted
+//! Google-2011 trace with the decision recorder on must produce — at any
+//! worker count — the identical decision log, the identical FNV-1a trace
+//! digest, and the identical Prometheus metrics snapshot, byte for byte.
+//! CI's `obs-smoke` job repeats the pin through the `trace_tool replay
+//! --decision-log` command line.
+//!
+//! If an intentional policy/optimizer/engine change shifts the events,
+//! regenerate the pins with
+//! `trace_tool replay --trace crates/chronos-bench/tests/golden/google2011_converted.trace \
+//!  --policy s-resume --metrics-out crates/chronos-bench/tests/golden/google2011_obs.prom --decision-log /dev/stdout`
+//! and update [`GOLDEN_TRACE_DIGEST`] plus the golden `.prom` file.
+
+use chronos_plan::PlanCache;
+use chronos_sim::prelude::*;
+use chronos_strategies::prelude::*;
+use chronos_trace::prelude::TraceLoader;
+use std::sync::Arc;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/google2011_converted.trace"
+);
+
+const GOLDEN_PROM: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/google2011_obs.prom"
+);
+
+/// The decision-trace digest of the golden replay under `trace_tool`'s
+/// replay configuration with `--policy s-resume`.
+const GOLDEN_TRACE_DIGEST: &str = "ecbe850d4f40c8f3";
+
+/// Mirrors `trace_tool`'s fixed replay configuration (same cluster, seed
+/// and sharding), so the snapshot pinned here is the one the CLI writes.
+fn replay_config(workers: u32) -> SimConfig {
+    SimConfig {
+        cluster: ClusterSpec::homogeneous(1_000, 8),
+        jvm: JvmModel::default(),
+        estimator: EstimatorKind::HadoopDefault,
+        progress_report_interval_secs: 1.0,
+        seed: 47,
+        max_events: 0,
+        sharding: ShardSpec::new(1, workers),
+    }
+}
+
+fn observed_replay(workers: u32) -> (SimulationReport, DecisionTrace, String) {
+    let kind: PolicyKind = "s-resume".parse().expect("known policy");
+    let config = ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default());
+    let builder = PolicyBuilder::new(config);
+    let runner = ShardedRunner::new(replay_config(workers)).expect("valid config");
+    let cache = PlanCache::shared();
+    let stream = TraceLoader::open(GOLDEN)
+        .expect("golden trace exists")
+        .stream(512)
+        .expect("golden trace parses");
+    let (report, stats, trace) = runner
+        .run_chunked_fallible_planned_observed(
+            &cache,
+            stream,
+            |_shard, cache: Arc<PlanCache>| {
+                builder
+                    .clone()
+                    .cached(cache)
+                    .build(kind)
+                    .expect("buildable policy")
+            },
+            None,
+        )
+        .expect("golden replay succeeds");
+    let mut registry = MetricsRegistry::new();
+    report.export_metrics(&mut registry);
+    stats.export_metrics(&mut registry);
+    (report, trace, registry.render_prometheus())
+}
+
+#[test]
+fn golden_observed_replay_is_worker_count_invariant_and_pinned() {
+    let (report_1, trace_1, prom_1) = observed_replay(1);
+    let (report_8, trace_8, prom_8) = observed_replay(8);
+
+    // Reports stay bit-identical with the recorder on (and across worker
+    // counts, as the unobserved replay-smoke job already pins).
+    assert_eq!(report_1, report_8);
+
+    // The decision log and its digest are worker-count invariant…
+    assert_eq!(trace_1.render_log(), trace_8.render_log());
+    assert_eq!(trace_1.digest(), trace_8.digest());
+    // …and pinned: an unintentional engine or policy change must not move
+    // a single recorded event.
+    assert_eq!(trace_1.digest(), GOLDEN_TRACE_DIGEST);
+
+    // The Prometheus snapshot matches the checked-in golden byte for byte.
+    let golden = std::fs::read_to_string(GOLDEN_PROM).expect("golden snapshot exists");
+    assert_eq!(prom_1, golden);
+    assert_eq!(prom_8, golden);
+}

@@ -432,6 +432,41 @@ pub struct LedgerSummary {
     pub batches: u64,
 }
 
+impl LedgerSummary {
+    /// Exports the totals into a
+    /// [`MetricsRegistry`](chronos_obs::MetricsRegistry) under the
+    /// `chronos_plan_budget_*` namespace. The ledger keys grants by job
+    /// id, so the totals — like its digest — are already worker-count-
+    /// invariant.
+    pub fn export_metrics(&self, registry: &mut chronos_obs::MetricsRegistry) {
+        registry.counter_add(
+            "chronos_plan_budget_jobs_total",
+            "Jobs recorded across all budgeted planning rounds",
+            self.jobs,
+        );
+        registry.counter_add(
+            "chronos_plan_budget_requested_total",
+            "Speculative copies the unconstrained optima asked for",
+            self.requested,
+        );
+        registry.counter_add(
+            "chronos_plan_budget_granted_total",
+            "Speculative copies actually granted under the budget",
+            self.spent,
+        );
+        registry.counter_add(
+            "chronos_plan_budget_infeasible_total",
+            "Jobs whose per-job plan was infeasible",
+            self.infeasible,
+        );
+        registry.counter_add(
+            "chronos_plan_budget_batches_total",
+            "Budgeted planning rounds recorded",
+            self.batches,
+        );
+    }
+}
+
 /// Accumulates the [`Allocation`]s of many planning rounds (e.g. one per
 /// shard chunk of a sharded replay) into one worker-count-invariant view:
 /// grants are keyed by job id, so the combined [`AllocationLedger::digest`]

@@ -114,6 +114,35 @@ impl CacheStats {
         }
     }
 
+    /// Exports the snapshot into a
+    /// [`MetricsRegistry`](chronos_obs::MetricsRegistry) under the
+    /// `chronos_plan_cache_*` namespace. Totals are worker-count-invariant
+    /// for the single-flight cache: each distinct key misses exactly once
+    /// no matter which worker took the miss, so the exported registry of a
+    /// sharded run needs no further normalization.
+    pub fn export_metrics(&self, registry: &mut chronos_obs::MetricsRegistry) {
+        registry.counter_add(
+            "chronos_plan_cache_hits_total",
+            "Plan-cache lookups served from the cache",
+            self.hits,
+        );
+        registry.counter_add(
+            "chronos_plan_cache_misses_total",
+            "Plan-cache lookups that computed a fresh plan",
+            self.misses,
+        );
+        registry.counter_add(
+            "chronos_plan_cache_evictions_total",
+            "Plan-cache entries evicted under capacity pressure",
+            self.evictions,
+        );
+        registry.gauge_add(
+            "chronos_plan_cache_entries",
+            "Plan-cache entries resident at snapshot time",
+            i64::try_from(self.entries).unwrap_or(i64::MAX),
+        );
+    }
+
     /// The counter deltas accumulated since `earlier` was snapshotted.
     /// `entries` is not a counter and keeps this snapshot's value.
     ///

@@ -91,16 +91,17 @@ pub mod server;
 
 pub use chronos_plan::SpeculationBudget;
 pub use server::{
-    decisions_digest, AdmissionDecision, LatencyProbe, PlanServer, Rejected, ServeConfig,
-    ServeError, ServeRequest, ServeResponse, ServerStats, Ticket,
+    decisions_digest, strategy_ordinal, AdmissionDecision, LatencyProbe, PlanServer, Rejected,
+    ServeConfig, ServeError, ServeRequest, ServeResponse, ServerStats, Ticket,
 };
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::queue::{BoundedQueue, PushError};
     pub use crate::server::{
-        decisions_digest, AdmissionDecision, LatencyProbe, PlanServer, Rejected, ServeConfig,
-        ServeError, ServeRequest, ServeResponse, ServerStats, Ticket,
+        decisions_digest, strategy_ordinal, AdmissionDecision, LatencyProbe, PlanServer, Rejected,
+        ServeConfig, ServeError, ServeRequest, ServeResponse, ServerStats, Ticket,
     };
+    pub use chronos_obs::{DecisionTrace, MetricsRegistry, TraceEvent};
     pub use chronos_plan::SpeculationBudget;
 }

@@ -3,6 +3,7 @@
 
 use crate::queue::{BoundedQueue, PushError};
 use chronos_core::prelude::*;
+use chronos_obs::{DecisionTrace, MetricsRegistry, TraceEvent};
 use chronos_plan::{CacheStats, PlanCache, PlanResult, Planner, ProfileKey, SpeculationBudget};
 use chronos_sim::prelude::{JobId, JobSpec, JobSubmitView, LatencyHistogram};
 use chronos_strategies::prelude::{
@@ -174,6 +175,14 @@ pub struct ServeConfig {
     /// with copies the closed forms never valued. Unlimited (the default)
     /// reproduces the historical per-job-optimal decisions exactly.
     pub budget: SpeculationBudget,
+    /// Per-worker decision-trace ring capacity. `None` (the default)
+    /// disables recording entirely — the worker hot loop keeps a single
+    /// never-taken branch. `Some(capacity)` records one
+    /// [`TraceEvent::ServeAdmitted`] per decision (stamped with the job's
+    /// deterministic submit time, never the wall clock) plus submit-side
+    /// [`TraceEvent::ServeOverloaded`] events; collect the merged,
+    /// request-id-sorted trace with [`PlanServer::shutdown_with_trace`].
+    pub decision_trace: Option<usize>,
 }
 
 impl ServeConfig {
@@ -189,6 +198,7 @@ impl ServeConfig {
             probe: LatencyProbe::WallMicros,
             local_memo_capacity: 1_024,
             budget: SpeculationBudget::Unlimited,
+            decision_trace: None,
         }
     }
 
@@ -212,6 +222,15 @@ impl ServeConfig {
         self.budget = budget;
         self
     }
+
+    /// Enables per-worker decision tracing with the given ring capacity
+    /// (see [`ServeConfig::decision_trace`]; pass `usize::MAX` for an
+    /// effectively unbounded ring).
+    #[must_use]
+    pub fn with_decision_trace(mut self, capacity: usize) -> Self {
+        self.decision_trace = Some(capacity);
+        self
+    }
 }
 
 /// Server-wide statistics. Per-worker histograms merge monoidally (in
@@ -232,6 +251,31 @@ pub struct ServerStats {
     pub latency: LatencyHistogram,
     /// Counter snapshot of the shared plan cache.
     pub cache: CacheStats,
+}
+
+impl ServerStats {
+    /// Exports the statistics into a
+    /// [`MetricsRegistry`](chronos_obs::MetricsRegistry) under the
+    /// `chronos_serve_*` namespace (the plan cache exports under its own
+    /// `chronos_plan_cache_*` names).
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.counter_add(
+            "chronos_serve_served_total",
+            "Requests decided and completed",
+            self.served,
+        );
+        registry.counter_add(
+            "chronos_serve_rejected_total",
+            "Requests rejected (overloaded or shutting down)",
+            self.rejected,
+        );
+        registry.histogram_merge(
+            "chronos_serve_latency_micros",
+            "Enqueue-to-decision latency distribution (log2 buckets, microseconds)",
+            self.latency.to_metric(),
+        );
+        self.cache.export_metrics(registry);
+    }
 }
 
 /// The slots a batch's responses land in, plus the countdown to done.
@@ -319,6 +363,10 @@ struct ServerShared {
     histograms: Vec<Mutex<LatencyHistogram>>,
     /// Remaining speculation-budget tokens; `None` when unbudgeted.
     budget_remaining: Option<AtomicU64>,
+    /// Decision traces when [`ServeConfig::decision_trace`] is set: one per
+    /// worker plus a final submit-side trace (index `workers`) for
+    /// overload events, which have no owning worker.
+    traces: Option<Vec<Mutex<DecisionTrace>>>,
 }
 
 /// The worker-side admission planner: builds the per-strategy plan
@@ -469,6 +517,11 @@ impl PlanServer {
                 SpeculationBudget::Unlimited => None,
                 SpeculationBudget::Limited(tokens) => Some(AtomicU64::new(tokens)),
             },
+            traces: config.decision_trace.map(|capacity| {
+                (0..=config.workers)
+                    .map(|_| Mutex::new(DecisionTrace::bounded(capacity.max(1))))
+                    .collect()
+            }),
         });
         Ok(PlanServer {
             shared,
@@ -527,6 +580,21 @@ impl PlanServer {
                 self.shared
                     .rejected
                     .fetch_add(items.len() as u64, Ordering::Relaxed);
+                if let Some(traces) = &self.shared.traces {
+                    // Submit-side slot (index `workers`): rejections have no
+                    // owning worker. Overload is load-dependent by nature, so
+                    // these events are honest but not worker-count-invariant
+                    // (see the digest-safety notes in docs/observability.md).
+                    traces[traces.len() - 1]
+                        .lock()
+                        .expect("trace lock poisoned")
+                        .record(
+                            0,
+                            TraceEvent::ServeOverloaded {
+                                rejected: items.len() as u64,
+                            },
+                        );
+                }
                 let error = match push_error {
                     PushError::Full { capacity } => ServeError::Overloaded { capacity },
                     PushError::Closed => ServeError::ShuttingDown,
@@ -565,6 +633,46 @@ impl PlanServer {
             let _ = handle.join();
         }
         collect_stats(&self.shared)
+    }
+
+    /// [`PlanServer::shutdown`] plus the merged decision trace. Per-worker
+    /// traces are folded in worker-index order and the admitted events
+    /// sorted by request id — the same canonicalization as
+    /// [`decisions_digest`] — so for an unbudgeted, never-overloaded
+    /// server the trace digest is worker-count-invariant. Returns an empty
+    /// trace when [`ServeConfig::decision_trace`] was off.
+    #[must_use]
+    pub fn shutdown_with_trace(mut self) -> (ServerStats, DecisionTrace) {
+        self.shared.queue.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+        let stats = collect_stats(&self.shared);
+        let mut merged = DecisionTrace::new();
+        if let Some(traces) = &self.shared.traces {
+            for trace in traces {
+                let taken = std::mem::take(&mut *trace.lock().expect("trace lock poisoned"));
+                merged.merge(taken);
+            }
+            merged.sort_records_by(|record| match record.event {
+                TraceEvent::ServeAdmitted { request, .. } => (0u8, request),
+                // Submit-side overload events sort after every admission;
+                // their count is load-dependent anyway.
+                _ => (1u8, u64::MAX),
+            });
+        }
+        (stats, merged)
+    }
+
+    /// A live [`MetricsRegistry`] snapshot of the server — the exportable
+    /// form of [`PlanServer::stats`] (Prometheus text via
+    /// [`MetricsRegistry::render_prometheus`], JSON via
+    /// [`MetricsRegistry::render_json`]).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::new();
+        self.stats().export_metrics(&mut registry);
+        registry
     }
 }
 
@@ -622,6 +730,21 @@ fn worker_loop(shared: &ServerShared, index: usize, config: &ServeConfig) {
                 job: item.request.job.id,
                 decision,
             };
+            if let Some(traces) = &shared.traces {
+                // Stamped with the job's submit time — deterministic — and
+                // sorted by request id at collection, mirroring
+                // `decisions_digest`'s worker-count-invariance argument.
+                traces[index].lock().expect("trace lock poisoned").record(
+                    item.request.job.submit_time.as_micros(),
+                    TraceEvent::ServeAdmitted {
+                        request: response.request_id,
+                        job: response.job.raw(),
+                        feasible: response.decision.feasible,
+                        strategy: strategy_ordinal(response.decision.strategy),
+                        copies: response.decision.copies,
+                    },
+                );
+            }
             item.batch.complete(item.slot, response);
             shared.served.fetch_add(1, Ordering::Relaxed);
         }
@@ -701,16 +824,24 @@ pub fn decisions_digest(responses: &[ServeResponse]) -> String {
         eat(&response.request_id.to_le_bytes());
         eat(&response.job.raw().to_le_bytes());
         eat(&[u8::from(response.decision.feasible)]);
-        let strategy = match response.decision.strategy {
-            None => u8::MAX,
-            Some(StrategyKind::Clone) => 0,
-            Some(StrategyKind::SpeculativeRestart) => 1,
-            Some(StrategyKind::SpeculativeResume) => 2,
-        };
-        eat(&[strategy]);
+        eat(&[strategy_ordinal(response.decision.strategy)]);
         eat(&response.decision.copies.to_le_bytes());
     }
     format!("{hash:016x}")
+}
+
+/// The stable one-byte encoding of a strategy choice, shared by
+/// [`decisions_digest`] and the decision trace's
+/// [`TraceEvent::ServeAdmitted`] events (Clone = 0, SpeculativeRestart = 1,
+/// SpeculativeResume = 2, no speculation = 255).
+#[must_use]
+pub fn strategy_ordinal(strategy: Option<StrategyKind>) -> u8 {
+    match strategy {
+        None => u8::MAX,
+        Some(StrategyKind::Clone) => 0,
+        Some(StrategyKind::SpeculativeRestart) => 1,
+        Some(StrategyKind::SpeculativeResume) => 2,
+    }
 }
 
 #[cfg(test)]
@@ -931,6 +1062,70 @@ mod tests {
         assert_eq!(responses[0].decision.remaining_budget, Some(per_job));
         assert_eq!(responses[1].decision.copies, optimal.copies);
         assert_eq!(responses[1].decision.remaining_budget, Some(0));
+    }
+
+    /// The per-job latency a synthetic probe reports: a pure function of
+    /// the job id, so a single-threaded reference recorder can replay the
+    /// exact values the racing workers recorded.
+    fn synthetic_latency(job: &JobSpec) -> f64 {
+        (job.id.raw() * 37 + 5) as f64
+    }
+
+    #[test]
+    fn stats_merge_is_exact_when_shutdown_races_inflight_workers() {
+        let config =
+            ServeConfig::new(4, 64).with_probe(LatencyProbe::SyntheticMicros(synthetic_latency));
+        let server = PlanServer::start(config).unwrap();
+        let mut tickets = Vec::new();
+        for batch in 0..3u64 {
+            let requests: Vec<ServeRequest> = (batch * 8..batch * 8 + 8)
+                .map(|i| request(i, 100.0))
+                .collect();
+            tickets.push(server.submit(requests).unwrap());
+        }
+        // Shut down immediately: the four workers are still draining the 24
+        // accepted requests, so `collect_stats` merges per-worker histograms
+        // that were being filled right up to the join.
+        let stats = server.shutdown();
+        assert_eq!(stats.served, 24);
+        assert_eq!(stats.rejected, 0);
+        // The shutdown protocol drains accepted work: every ticket completes.
+        for ticket in tickets {
+            assert_eq!(ticket.wait().len(), 8);
+        }
+        // The merged histogram is bit-identical to a single-threaded recorder
+        // fed the same probe values — the monoid merge is exact regardless of
+        // which worker served which request or when shutdown began.
+        let mut expected = LatencyHistogram::new();
+        for i in 0..24 {
+            expected.record_secs(synthetic_latency(&job(i, 100.0)));
+        }
+        assert_eq!(stats.latency, expected);
+        assert_eq!(stats.latency.count(), 24);
+    }
+
+    #[test]
+    fn decision_trace_is_worker_count_invariant() {
+        fn run(workers: u32) -> DecisionTrace {
+            let config = ServeConfig::new(workers, 64).with_decision_trace(1024);
+            let server = PlanServer::start(config).unwrap();
+            let responses = server
+                .submit((0..12).map(|i| request(i, 100.0)).collect())
+                .unwrap()
+                .wait();
+            assert_eq!(responses.len(), 12);
+            let (stats, trace) = server.shutdown_with_trace();
+            assert_eq!(stats.served, 12);
+            trace
+        }
+        let solo = run(1);
+        let fleet = run(4);
+        assert_eq!(solo.len(), 12);
+        // Post-sort canonicalization makes the whole trace — digest and
+        // rendered log, not just the set of events — independent of how the
+        // requests were scheduled across workers.
+        assert_eq!(solo.digest(), fleet.digest());
+        assert_eq!(solo.render_log(), fleet.render_log());
     }
 
     #[test]

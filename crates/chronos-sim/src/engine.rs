@@ -64,6 +64,7 @@ use crate::policy::{
 };
 use crate::progress::{estimate_completion, estimate_resume_offset};
 use crate::time::{SimDuration, SimTime};
+use chronos_obs::{DecisionTrace, TraceEvent};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, HashMap};
@@ -170,6 +171,10 @@ pub struct Simulation {
     /// Pooled scratch for [`JobView`] snapshots.
     view_tasks_scratch: Vec<TaskView>,
     attempt_vec_pool: Vec<Vec<AttemptView>>,
+    /// Structured decision recording ([`Simulation::enable_decision_trace`]).
+    /// `None` (the default) keeps every hot path on a single never-taken
+    /// branch — the recorder is zero-cost unless explicitly enabled.
+    trace: Option<DecisionTrace>,
 }
 
 impl Simulation {
@@ -209,7 +214,27 @@ impl Simulation {
             submit_overrides: HashMap::with_hasher(FastIdHash),
             view_tasks_scratch: Vec::new(),
             attempt_vec_pool: Vec::new(),
+            trace: None,
         })
+    }
+
+    /// Turns on structured decision recording. Events (submit overrides,
+    /// speculative copy launches/kills, deadline misses, budget
+    /// grants/denies, phase spans) are stamped with integer sim-time
+    /// microseconds, so a trace is as deterministic as the simulation
+    /// itself. `capacity` bounds the ring (`None` = unbounded; once full,
+    /// the oldest records are evicted and counted).
+    pub fn enable_decision_trace(&mut self, capacity: Option<usize>) {
+        self.trace = Some(match capacity {
+            Some(capacity) => DecisionTrace::bounded(capacity),
+            None => DecisionTrace::new(),
+        });
+    }
+
+    /// Takes the recorded decision trace, leaving recording disabled.
+    /// Returns `None` when tracing was never enabled.
+    pub fn take_decision_trace(&mut self) -> Option<DecisionTrace> {
+        self.trace.take()
     }
 
     /// The name of the policy driving this simulation (cached at
@@ -298,6 +323,31 @@ impl Simulation {
         let plan = self.policy.on_job_batch(&views).map_err(|err| {
             err.with_context(format_args!("planning a {}-job batch", views.len()))
         })?;
+        if let Some(trace) = self.trace.as_mut() {
+            // Budget accounting is part of the batch plan's diagnostics, so
+            // grant/deny events need no policy cooperation — and stay
+            // deterministic, since planning happens before any event fires.
+            let diagnostics = plan.diagnostics;
+            if !diagnostics.budget.is_unlimited() {
+                trace.record(
+                    self.now.as_micros(),
+                    TraceEvent::BudgetGrant {
+                        jobs: diagnostics.jobs,
+                        requested: diagnostics.requested,
+                        granted: diagnostics.spent,
+                    },
+                );
+                if diagnostics.spent < diagnostics.requested {
+                    trace.record(
+                        self.now.as_micros(),
+                        TraceEvent::BudgetDeny {
+                            jobs: diagnostics.jobs,
+                            denied: diagnostics.requested - diagnostics.spent,
+                        },
+                    );
+                }
+            }
+        }
         self.record_batch_plan(plan)
     }
 
@@ -342,6 +392,7 @@ impl Simulation {
     /// * [`SimError::InvalidAction`] / [`SimError::UnknownEntity`] when the
     ///   policy produces actions referencing foreign or unknown entities.
     pub fn run(&mut self) -> Result<SimulationReport, SimError> {
+        let started_at = self.now;
         while let Some((time, event)) = self.events.pop() {
             debug_assert!(time >= self.now, "event time went backwards");
             self.now = time;
@@ -366,7 +417,20 @@ impl Simulation {
                 Event::PolicyCheck { job, index } => self.handle_policy_check(job, index)?,
             }
         }
-        Ok(self.build_report())
+        let report = self.build_report();
+        if let Some(trace) = self.trace.as_mut() {
+            // A digest-safe sim-time span of the whole event loop; wall
+            // clocks never enter the trace (see chronos-obs::span).
+            trace.record(
+                self.now.as_micros(),
+                chronos_obs::span::sim_span(
+                    "simulate",
+                    started_at.as_micros(),
+                    self.now.as_micros(),
+                ),
+            );
+        }
+        Ok(report)
     }
 
     // ------------------------------------------------------------------
@@ -395,6 +459,16 @@ impl Simulation {
                 // directions — the override must not be served to other jobs of
                 // the same profile, nor a memoized decision to this job.
                 self.policy.on_job_submit_replayed(&submit_view, decision);
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(
+                        self.now.as_micros(),
+                        TraceEvent::SubmitOverrideApplied {
+                            job: job_id.raw(),
+                            extra_clones: decision.extra_clones_per_task,
+                            reported_r: decision.reported_r,
+                        },
+                    );
+                }
                 let schedule = self.intern_schedule(self.policy.check_schedule(&submit_view));
                 (decision, schedule)
             } else if self.memo_enabled {
@@ -582,7 +656,17 @@ impl Simulation {
                     return Ok(());
                 }
                 for _ in 0..count {
-                    self.create_attempt(task, start_fraction)?;
+                    let attempt = self.create_attempt(task, start_fraction)?;
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.record(
+                            self.now.as_micros(),
+                            TraceEvent::CopyLaunched {
+                                job: job_id.raw(),
+                                task: task.raw(),
+                                attempt: attempt.raw(),
+                            },
+                        );
+                    }
                 }
                 Ok(())
             }
@@ -731,17 +815,37 @@ impl Simulation {
                 let attempt = &mut self.attempts[attempt_idx];
                 attempt.state = AttemptState::Killed;
                 attempt.ended_at = Some(self.now);
+                let (job, task) = (attempt.job, attempt.task);
+                self.record_copy_killed(job, task, attempt_id);
                 Ok(())
             }
             AttemptState::Running => {
                 let attempt = &mut self.attempts[attempt_idx];
                 attempt.state = AttemptState::Killed;
                 attempt.ended_at = Some(self.now);
+                let (job, task) = (attempt.job, attempt.task);
                 if let Some(node) = node {
                     self.rm.release(node)?;
                 }
+                self.record_copy_killed(job, task, attempt_id);
                 Ok(())
             }
+        }
+    }
+
+    /// Records a kill into the decision trace, if enabled. Every actual
+    /// state transition to `Killed` funnels through [`Simulation::kill_attempt`],
+    /// so this is the single choke point for kill events.
+    fn record_copy_killed(&mut self, job: JobId, task: TaskId, attempt: AttemptId) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(
+                self.now.as_micros(),
+                TraceEvent::CopyKilled {
+                    job: job.raw(),
+                    task: task.raw(),
+                    attempt: attempt.raw(),
+                },
+            );
         }
     }
 
@@ -827,7 +931,10 @@ impl Simulation {
         self.view_tasks_scratch = view.tasks;
     }
 
-    fn build_report(&self) -> SimulationReport {
+    fn build_report(&mut self) -> SimulationReport {
+        // Taken out for the loop below so recording misses does not fight
+        // the borrow of `self.jobs`; restored before returning.
+        let mut trace = self.trace.take();
         let mut jobs = BTreeMap::new();
         let mut latency = LatencyHistogram::new();
         for (slot, job) in self.jobs.iter().enumerate() {
@@ -849,6 +956,21 @@ impl Simulation {
                 }
             }
             let met_deadline = job.met_deadline().unwrap_or(false);
+            if !met_deadline {
+                if let Some(trace) = trace.as_mut() {
+                    // Stamped at the deadline instant the job blew, not the
+                    // end of the run — both are deterministic, but the
+                    // deadline reads naturally in a merged log.
+                    let deadline_at =
+                        job.spec.submit_time + SimDuration::from_secs(job.spec.deadline_secs);
+                    trace.record(
+                        deadline_at.as_micros(),
+                        TraceEvent::DeadlineMissed {
+                            job: job.spec.id.raw(),
+                        },
+                    );
+                }
+            }
             let entry = JobMetrics {
                 job: job.spec.id,
                 submitted_at: job.spec.submit_time,
@@ -867,6 +989,7 @@ impl Simulation {
             }
             jobs.insert(job.spec.id, entry);
         }
+        self.trace = trace;
         SimulationReport {
             policy: self.policy_name.clone(),
             jobs,
@@ -1147,6 +1270,108 @@ mod tests {
         assert_eq!(metrics.attempts_killed, 3);
         assert_eq!(metrics.chosen_r, Some(1));
         assert_eq!(report.chosen_r_histogram().get(&1), Some(&1));
+    }
+
+    /// Trace-wiring probe: its first check speculates one extra copy per
+    /// incomplete task, its second prunes back to the best attempt — so an
+    /// observed run records both `CopyLaunched` and `CopyKilled`.
+    #[derive(Debug)]
+    struct LaunchThenPrune;
+
+    impl SpeculationPolicy for LaunchThenPrune {
+        fn name(&self) -> &str {
+            "launch-then-prune"
+        }
+
+        fn on_job_submit(&mut self, _job: &JobSubmitView) -> SubmitDecision {
+            SubmitDecision::default()
+        }
+
+        fn check_schedule(&self, _job: &JobSubmitView) -> CheckSchedule {
+            CheckSchedule::AtOffsets(vec![2.0, 6.0])
+        }
+
+        fn on_check(&mut self, view: &JobView) -> Vec<PolicyAction> {
+            let mut actions = Vec::new();
+            for task in view.incomplete_tasks() {
+                if view.check_index == 0 {
+                    actions.push(PolicyAction::LaunchExtra {
+                        task: task.task,
+                        count: 1,
+                        start_fraction: 0.0,
+                    });
+                } else if let Some(best) = task.best_progress_attempt() {
+                    actions.push(PolicyAction::KillAllExcept {
+                        task: task.task,
+                        keep: best.attempt,
+                    });
+                }
+            }
+            actions
+        }
+    }
+
+    #[test]
+    fn decision_trace_records_the_speculation_lifecycle_without_perturbing_the_run() {
+        let baseline = {
+            let mut sim = Simulation::new(small_config(21), Box::new(LaunchThenPrune)).unwrap();
+            sim.submit(job(0, 0.0, 1_000.0, 3)).unwrap();
+            sim.run().unwrap()
+        };
+
+        let mut sim = Simulation::new(small_config(21), Box::new(LaunchThenPrune)).unwrap();
+        sim.enable_decision_trace(None);
+        sim.submit(job(0, 0.0, 1_000.0, 3)).unwrap();
+        let report = sim.run().unwrap();
+        // Observation only: the traced run's report is bit-identical.
+        assert_eq!(report, baseline);
+
+        let trace = sim.take_decision_trace().expect("trace was enabled");
+        let launched = trace
+            .records()
+            .filter(|record| matches!(record.event, TraceEvent::CopyLaunched { .. }))
+            .count() as u64;
+        let killed = trace
+            .records()
+            .filter(|record| matches!(record.event, TraceEvent::CopyKilled { .. }))
+            .count() as u64;
+        // Every speculative copy beyond the 3 originals was traced at its
+        // launch, and `kill_attempt` is a single choke point: policy prunes
+        // and sibling-completion kills alike show up.
+        assert_eq!(launched, report.total_attempts() - 3);
+        assert_eq!(killed, report.total_kills());
+        assert!(launched > 0);
+        assert!(killed > 0);
+        // The run-level `simulate` phase span closes the trace.
+        let last = trace.records().last().expect("trace is non-empty");
+        assert!(matches!(last.event, TraceEvent::Phase { ref name, .. } if name == "simulate"));
+    }
+
+    #[test]
+    fn decision_trace_records_batch_overrides() {
+        let policy = OverridingPolicy::new(vec![1, 2]);
+        let mut sim = Simulation::new(small_config(13), Box::new(policy)).unwrap();
+        sim.enable_decision_trace(None);
+        sim.submit_all((0..4).map(|i| job(i, f64::from(i as u32), 1_000.0, 2)))
+            .unwrap();
+        let _report = sim.run().unwrap();
+        let trace = sim.take_decision_trace().expect("trace was enabled");
+        let overrides: Vec<(u64, u32)> = trace
+            .records()
+            .filter_map(|record| match record.event {
+                TraceEvent::SubmitOverrideApplied {
+                    job, extra_clones, ..
+                } => Some((job, extra_clones)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(overrides, vec![(1, 2), (2, 2)]);
+        // One greppable line per event in the rendered log.
+        let log = trace.render_log();
+        assert!(
+            log.contains("submit-override job=1 extra-clones=2 reported-r=2"),
+            "{log}"
+        );
     }
 
     #[test]

@@ -213,6 +213,80 @@ impl LatencyHistogram {
         Some(overflow_edge)
     }
 
+    /// Number of completed observations — the Prometheus `_count` of the
+    /// histogram. Alias of [`LatencyHistogram::completed`] under the name
+    /// metric exporters expect.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.completed()
+    }
+
+    /// An upper-bound approximation of the summed turnaround seconds — the
+    /// Prometheus `_sum`. The histogram stores only bucket counts (the
+    /// serialized report format is golden-pinned, so no exact sum field
+    /// can be added), so each observation is charged its bucket's upper
+    /// edge; overflow-bucket observations are charged the finite lower
+    /// edge `2^38` instead (see [`LatencyHistogram::saturated`]).
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        let overflow_edge = Self::bucket_bounds(LATENCY_BUCKETS - 1).0;
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(index, &count)| {
+                let edge = if index >= LATENCY_BUCKETS - 1 {
+                    overflow_edge
+                } else {
+                    Self::bucket_bounds(index).1
+                };
+                count as f64 * edge
+            })
+            .sum()
+    }
+
+    /// Mean turnaround in seconds under the same bucket-upper-edge
+    /// approximation as [`LatencyHistogram::sum`], or `None` when nothing
+    /// completed.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            None
+        } else {
+            Some(self.sum() / count as f64)
+        }
+    }
+
+    /// Iterates every bucket as `((low, high), count)` in index order —
+    /// the public bucket-walk the Prometheus renderer (and any external
+    /// exporter) needs. The final bucket's `high` is `f64::INFINITY`.
+    pub fn iter_buckets(&self) -> impl Iterator<Item = ((f64, f64), u64)> + '_ {
+        (0..LATENCY_BUCKETS)
+            .map(move |index| (Self::bucket_bounds(index), self.bucket_count(index)))
+    }
+
+    /// Snapshots the histogram into the exportable
+    /// [`HistogramMetric`](chronos_obs::HistogramMetric) form: finite
+    /// bucket upper edges, per-bucket counts with a trailing overflow
+    /// bucket, and the derived [`LatencyHistogram::sum`]. Unfinished jobs
+    /// are not part of the distribution; export them as their own counter.
+    #[must_use]
+    pub fn to_metric(&self) -> chronos_obs::HistogramMetric {
+        let bounds: Vec<f64> = (0..LATENCY_BUCKETS - 1)
+            .map(|index| Self::bucket_bounds(index).1)
+            .collect();
+        let mut counts: Vec<u64> = (0..LATENCY_BUCKETS).map(|i| self.bucket_count(i)).collect();
+        // A deserialized oversized vector keeps out-of-layout counts until
+        // healed; fold them into the overflow bucket like `merge` does.
+        counts[LATENCY_BUCKETS - 1] += self
+            .buckets
+            .iter()
+            .skip(LATENCY_BUCKETS)
+            .copied()
+            .sum::<u64>();
+        chronos_obs::HistogramMetric::from_parts(bounds, counts, self.sum())
+    }
+
     /// True when any sample landed in the overflow bucket, i.e. some
     /// recorded value was at or beyond the last bucket's lower edge
     /// (`2^38`). When this is set, quantiles that reach the overflow bucket
@@ -265,6 +339,62 @@ impl SimulationReport {
     #[must_use]
     pub fn job_count(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// Exports the report's aggregates into a
+    /// [`MetricsRegistry`](chronos_obs::MetricsRegistry) under the
+    /// `chronos_sim_*` namespace: engine work counters
+    /// (`events_dispatched`/`events_stale`), job/deadline/attempt totals
+    /// and the turnaround histogram. Only merge-stable integer aggregates
+    /// are exported, so exporting a merged sharded report equals merging
+    /// the per-shard exports — worker count stays invisible.
+    pub fn export_metrics(&self, registry: &mut chronos_obs::MetricsRegistry) {
+        registry.counter_add(
+            "chronos_sim_events_dispatched_total",
+            "Events dispatched to a handler (the engine's unit of work)",
+            self.events_dispatched,
+        );
+        registry.counter_add(
+            "chronos_sim_events_stale_total",
+            "Lazily-deleted events popped and discarded",
+            self.events_stale,
+        );
+        registry.counter_add(
+            "chronos_sim_jobs_total",
+            "Jobs simulated",
+            self.jobs.len() as u64,
+        );
+        let met = self.jobs.values().filter(|job| job.met_deadline).count() as u64;
+        registry.counter_add(
+            "chronos_sim_deadlines_met_total",
+            "Jobs that finished before their deadline",
+            met,
+        );
+        registry.counter_add(
+            "chronos_sim_deadlines_missed_total",
+            "Jobs that missed their deadline (or never finished)",
+            self.jobs.len() as u64 - met,
+        );
+        registry.counter_add(
+            "chronos_sim_attempts_total",
+            "Attempts ever launched (original + speculative/clone)",
+            self.total_attempts(),
+        );
+        registry.counter_add(
+            "chronos_sim_attempts_killed_total",
+            "Attempts killed by the Application Master",
+            self.total_kills(),
+        );
+        registry.counter_add(
+            "chronos_sim_jobs_unfinished_total",
+            "Jobs still running when the simulation ended",
+            self.latency.unfinished(),
+        );
+        registry.histogram_merge(
+            "chronos_sim_latency_seconds",
+            "Job turnaround time distribution (log2 buckets)",
+            self.latency.to_metric(),
+        );
     }
 
     /// Accumulates `other` into `self`.

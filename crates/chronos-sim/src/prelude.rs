@@ -23,3 +23,7 @@ pub use crate::time::{SimDuration, SimTime};
 // policies; re-exported so policy implementors need no direct
 // `chronos-plan` dependency.
 pub use chronos_plan::{CacheStats, PlanCache, PlanRequest, Planner, SpeculationBudget};
+// The observability types the engine's decision tracing and the report's
+// metrics export exchange with callers; re-exported so trace consumers
+// need no direct `chronos-obs` dependency.
+pub use chronos_obs::{DecisionTrace, MetricsRegistry, TraceEvent, TraceRecord};

@@ -52,6 +52,7 @@ use crate::error::SimError;
 use crate::job::JobSpec;
 use crate::metrics::SimulationReport;
 use crate::policy::SpeculationPolicy;
+use chronos_obs::{DecisionTrace, TraceEvent};
 use chronos_plan::{CacheStats, PlanCache};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -244,6 +245,114 @@ impl ShardedRunner {
         Ok((report, cache.stats().since(&before)))
     }
 
+    /// The observed variant of [`ShardedRunner::run_chunked`]: every shard
+    /// records a [`DecisionTrace`] (bounded to `trace_capacity` records
+    /// per shard, `None` = unbounded), and the per-shard traces are merged
+    /// in **shard-index order** — exactly like the reports — so the
+    /// returned trace, its rendered decision log and its digest are
+    /// bit-identical no matter how many worker threads ran the shards.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedRunner::run_chunked`].
+    pub fn run_chunked_observed<I, F>(
+        &self,
+        chunks: I,
+        build_policy: F,
+        trace_capacity: Option<usize>,
+    ) -> Result<(SimulationReport, DecisionTrace), SimError>
+    where
+        I: IntoIterator<Item = Vec<JobSpec>>,
+        I::IntoIter: Send,
+        F: Fn(u64) -> Box<dyn SpeculationPolicy> + Sync,
+    {
+        let workers = self.config.sharding.requested_workers() as usize;
+        let (report, trace) =
+            self.run_chunks_observed_with(workers, chunks, &build_policy, Some(trace_capacity))?;
+        Ok((report, trace.unwrap_or_default()))
+    }
+
+    /// The observed variant of [`ShardedRunner::run_chunked_fallible`];
+    /// see [`ShardedRunner::run_chunked_observed`] for the trace contract.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedRunner::run_chunked_fallible`].
+    pub fn run_chunked_fallible_observed<I, E, F>(
+        &self,
+        chunks: I,
+        build_policy: F,
+        trace_capacity: Option<usize>,
+    ) -> Result<(SimulationReport, DecisionTrace), ReplayError<E>>
+    where
+        I: IntoIterator<Item = Result<Vec<JobSpec>, E>>,
+        I::IntoIter: Send,
+        E: Send,
+        F: Fn(u64) -> Box<dyn SpeculationPolicy> + Sync,
+    {
+        let source_error: Mutex<Option<E>> = Mutex::new(None);
+        let adapter = FallibleChunks {
+            inner: chunks.into_iter(),
+            slot: &source_error,
+            done: false,
+        };
+        let workers = self.config.sharding.requested_workers() as usize;
+        let outcome =
+            self.run_chunks_observed_with(workers, adapter, &build_policy, Some(trace_capacity));
+        if let Some(err) = source_error
+            .into_inner()
+            .expect("source error lock poisoned")
+        {
+            return Err(ReplayError::Source(err));
+        }
+        outcome
+            .map(|(report, trace)| (report, trace.unwrap_or_default()))
+            .map_err(ReplayError::Sim)
+    }
+
+    /// The observed variant of
+    /// [`ShardedRunner::run_chunked_fallible_planned`]: shared plan cache,
+    /// cache-stats delta *and* merged decision trace, with an aggregate
+    /// [`TraceEvent::PlanCacheReport`] appended. The cache totals are
+    /// worker-count-invariant for the single-flight cache (each distinct
+    /// profile misses exactly once), so the appended event — like the rest
+    /// of the trace — keeps the digest invariant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardedRunner::run_chunked_fallible`].
+    pub fn run_chunked_fallible_planned_observed<I, E, F>(
+        &self,
+        cache: &Arc<PlanCache>,
+        chunks: I,
+        build_policy: F,
+        trace_capacity: Option<usize>,
+    ) -> Result<(SimulationReport, CacheStats, DecisionTrace), ReplayError<E>>
+    where
+        I: IntoIterator<Item = Result<Vec<JobSpec>, E>>,
+        I::IntoIter: Send,
+        E: Send,
+        F: Fn(u64, Arc<PlanCache>) -> Box<dyn SpeculationPolicy> + Sync,
+    {
+        let before = cache.stats();
+        let (report, mut trace) = self.run_chunked_fallible_observed(
+            chunks,
+            |shard| build_policy(shard, Arc::clone(cache)),
+            trace_capacity,
+        )?;
+        let stats = cache.stats().since(&before);
+        trace.record(
+            report.ended_at.as_micros(),
+            TraceEvent::PlanCacheReport {
+                hits: stats.hits,
+                misses: stats.misses,
+                evictions: stats.evictions,
+                entries: stats.entries,
+            },
+        );
+        Ok((report, stats, trace))
+    }
+
     /// The planner-backed variant of
     /// [`ShardedRunner::run_chunked_fallible`]; see
     /// [`ShardedRunner::run_chunked_planned`] for the cache contract.
@@ -329,9 +438,31 @@ impl ShardedRunner {
         I::IntoIter: Send,
         F: Fn(u64) -> Box<dyn SpeculationPolicy> + Sync,
     {
+        self.run_chunks_observed_with(workers, chunks, build_policy, None)
+            .map(|(report, _)| report)
+    }
+
+    /// [`ShardedRunner::run_chunks_with`] plus optional per-shard decision
+    /// tracing. `trace` is `None` to leave recording off (the engine's
+    /// zero-cost default) or `Some(capacity)` to record with the given
+    /// per-shard ring bound. Traces are folded in the same sorted
+    /// shard-index order as the reports, so the merged trace inherits the
+    /// reports' worker-count invariance.
+    fn run_chunks_observed_with<I, F>(
+        &self,
+        workers: usize,
+        chunks: I,
+        build_policy: &F,
+        trace: Option<Option<usize>>,
+    ) -> Result<(SimulationReport, Option<DecisionTrace>), SimError>
+    where
+        I: IntoIterator<Item = Vec<JobSpec>>,
+        I::IntoIter: Send,
+        F: Fn(u64) -> Box<dyn SpeculationPolicy> + Sync,
+    {
+        type ShardOutcome = Result<(SimulationReport, Option<DecisionTrace>), SimError>;
         let queue = Mutex::new(chunks.into_iter().enumerate());
-        let results: Mutex<Vec<(usize, Result<SimulationReport, SimError>)>> =
-            Mutex::new(Vec::new());
+        let results: Mutex<Vec<(usize, ShardOutcome)>> = Mutex::new(Vec::new());
         // Once any shard fails, stop pulling new chunks: a million-job run
         // should not simulate 63 healthy shards to report shard 0's invalid
         // spec. Shards already running finish normally, which keeps error
@@ -349,7 +480,7 @@ impl ShardedRunner {
                         let Some((index, jobs)) = next else {
                             break;
                         };
-                        let outcome = self.run_shard(index as u64, jobs, build_policy);
+                        let outcome = self.run_shard(index as u64, jobs, build_policy, trace);
                         if outcome.is_err() {
                             abort.store(true, Ordering::Relaxed);
                         }
@@ -372,28 +503,41 @@ impl ShardedRunner {
         // anyway; sorted folding keeps failures reproducible too.
         outcomes.sort_by_key(|(index, _)| *index);
         let mut aggregate = SimulationReport::default();
+        let mut merged_trace = trace.map(|capacity| match capacity {
+            Some(capacity) => DecisionTrace::bounded(capacity),
+            None => DecisionTrace::new(),
+        });
         for (index, outcome) in outcomes {
-            let report = outcome.map_err(|err| err.with_context(format_args!("shard {index}")))?;
+            let (report, shard_trace) =
+                outcome.map_err(|err| err.with_context(format_args!("shard {index}")))?;
             aggregate
                 .merge(report)
                 .map_err(|err| err.with_context(format_args!("merging shard {index}")))?;
+            if let (Some(merged), Some(shard_trace)) = (merged_trace.as_mut(), shard_trace) {
+                merged.merge(shard_trace);
+            }
         }
-        Ok(aggregate)
+        Ok((aggregate, merged_trace))
     }
 
     /// Runs one shard: an ordinary simulation under the shared config with
-    /// the shard's derived seed.
+    /// the shard's derived seed, optionally recording a decision trace.
     fn run_shard(
         &self,
         shard: u64,
         jobs: Vec<JobSpec>,
         build_policy: &PolicyFactory<'_>,
-    ) -> Result<SimulationReport, SimError> {
+        trace: Option<Option<usize>>,
+    ) -> Result<(SimulationReport, Option<DecisionTrace>), SimError> {
         let mut config = self.config.clone();
         config.seed = shard_seed(self.config.seed, shard);
         let mut sim = Simulation::new(config, build_policy(shard))?;
+        if let Some(capacity) = trace {
+            sim.enable_decision_trace(capacity);
+        }
         sim.submit_all(jobs)?;
-        sim.run()
+        let report = sim.run()?;
+        Ok((report, sim.take_decision_trace()))
     }
 }
 
@@ -444,6 +588,7 @@ mod tests {
     use crate::policy::NoSpeculation;
     use crate::time::SimTime;
     use chronos_core::Pareto;
+    use chronos_obs::TraceRecord;
     use std::sync::atomic::AtomicUsize;
 
     fn config(seed: u64, shards: u32, workers: u32) -> SimConfig {
@@ -825,6 +970,85 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err, ReplayError::Source("broken source".to_string()));
+    }
+
+    #[test]
+    fn observed_replay_preserves_the_report_and_is_worker_count_invariant() {
+        // Tight deadlines: some jobs miss, so the trace carries
+        // `DeadlineMissed` events, not just the per-shard phase spans.
+        let workload = || {
+            (0..24u64)
+                .map(|i| {
+                    JobSpec::new(JobId::new(i), SimTime::from_secs(i as f64), 12.0, 3)
+                        .with_profile(Pareto::new(10.0, 1.5).unwrap())
+                })
+                .collect::<Vec<JobSpec>>()
+        };
+        let reference = ShardedRunner::new(config(11, 4, 2))
+            .unwrap()
+            .run_chunked(chunks_of(workload(), 4), |_| Box::new(NoSpeculation))
+            .unwrap();
+        let missed = reference
+            .jobs
+            .values()
+            .filter(|job| !job.met_deadline)
+            .count();
+        assert!(missed > 0, "workload must exercise DeadlineMissed events");
+
+        let mut digests = Vec::new();
+        for workers in [1u32, 8] {
+            let runner = ShardedRunner::new(config(11, 4, workers)).unwrap();
+            let (report, trace) = runner
+                .run_chunked_observed(chunks_of(workload(), 4), |_| Box::new(NoSpeculation), None)
+                .unwrap();
+            // Recording is observation only: the report stays bit-identical
+            // to the unobserved replay.
+            assert_eq!(report, reference, "workers = {workers}");
+            // One `simulate` phase span per shard, merged in shard order,
+            // and one DeadlineMissed per missed job.
+            let phases = trace
+                .records()
+                .filter(|record| matches!(record.event, TraceEvent::Phase { .. }))
+                .count();
+            assert_eq!(phases, 4, "workers = {workers}");
+            let deadline_events = trace
+                .records()
+                .filter(|record| matches!(record.event, TraceEvent::DeadlineMissed { .. }))
+                .count();
+            assert_eq!(deadline_events, missed, "workers = {workers}");
+            digests.push(trace.digest());
+        }
+        assert_eq!(digests[0], digests[1]);
+    }
+
+    #[test]
+    fn planned_observed_replay_appends_one_aggregate_cache_report() {
+        let runner = ShardedRunner::new(config(13, 3, 2)).unwrap();
+        let cache = chronos_plan::PlanCache::shared();
+        let (report, stats, trace) = runner
+            .run_chunked_fallible_planned_observed(
+                &cache,
+                chunks_of(jobs(30), 3).into_iter().map(Ok::<_, SimError>),
+                |_, cache| Box::new(PlanningProbe::new(cache)) as Box<dyn SpeculationPolicy>,
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.job_count(), 30);
+        // Per-access cache events would be scheduling-dependent (whichever
+        // shard reaches a profile first takes the miss); the trace instead
+        // carries exactly one aggregate report with the run's stats delta.
+        let cache_reports: Vec<&TraceRecord> = trace
+            .records()
+            .filter(|record| matches!(record.event, TraceEvent::PlanCacheReport { .. }))
+            .collect();
+        assert_eq!(cache_reports.len(), 1);
+        match cache_reports[0].event {
+            TraceEvent::PlanCacheReport { hits, misses, .. } => {
+                assert_eq!(hits, stats.hits);
+                assert_eq!(misses, stats.misses);
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@
 #![deny(unsafe_code)]
 
 pub use chronos_core as core;
+pub use chronos_obs as obs;
 pub use chronos_plan as plan;
 pub use chronos_serve as serve;
 pub use chronos_sim as sim;
@@ -55,6 +56,9 @@ pub use chronos_trace as trace;
 /// One-stop imports for the whole framework.
 pub mod prelude {
     pub use chronos_core::prelude::*;
+    pub use chronos_obs::prelude::{
+        DecisionTrace, HistogramMetric, MetricValue, MetricsRegistry, TraceEvent, TraceRecord,
+    };
     pub use chronos_plan::prelude::{
         allocate, canonical_f64_bits, Allocation, AllocationLedger, BudgetJob, CacheStats, Grant,
         JobProfileKey, LedgerSummary, Plan, PlanCache, PlanRequest, PlanResult, Planner,

@@ -12,8 +12,8 @@
 //! ```text
 //! trace_tool generate --jobs N --seed S --out trace.csv [--chunk-size C]
 //! trace_tool convert  IN OUT --format google-2011 [--deadline-factor F] [--chunk-size C]
-//! trace_tool replay --trace trace.csv   [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out report.json] [--metrics-out m.prom] [--decision-log d.log]
-//! trace_tool replay --jobs N --seed S   [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out report.json] [--metrics-out m.prom] [--decision-log d.log]
+//! trace_tool replay --trace trace.csv   [--policy P] [--budget B] [--placement L] [--workers W] [--chunk-size C] [--out report.json] [--metrics-out m.prom] [--decision-log d.log]
+//! trace_tool replay --jobs N --seed S   [--policy P] [--budget B] [--placement L] [--workers W] [--chunk-size C] [--out report.json] [--metrics-out m.prom] [--decision-log d.log]
 //! trace_tool serve-replay --trace trace.csv [--workers W] [--queue-capacity Q] [--chunk-size C] [--metrics-out m.prom] [--decision-log d.log]
 //! trace_tool stats  --trace trace.csv   [--chunk-size C]
 //! ```
@@ -62,6 +62,13 @@
 //! distinct-profile census of a trace — the ceiling on that cache's hit
 //! rate — so the planner benefit can be predicted without replaying.
 //!
+//! `--placement L` selects the cluster placement policy (`most-free`, the
+//! default and bit-identical to the historical scheduler; `bin-pack`;
+//! `deadline-aware`). Non-default placements record a `PlacementDecision`
+//! per assignment into the decision trace, so `--decision-log` digests are
+//! placement-specific yet still worker-count-invariant (what CI's
+//! `placement-smoke` job pins).
+//!
 //! `--budget B` caps the speculative copies each planning round may grant
 //! (`unlimited`, the default, reproduces the classic per-job optima
 //! bit-for-bit). Budgeted replays share one `AllocationLedger` across all
@@ -92,12 +99,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  trace_tool generate --jobs N --seed S --out PATH [--chunk-size C]\n  \
          trace_tool convert IN OUT --format F [--deadline-factor D] [--chunk-size C]\n  \
-         trace_tool replay --trace PATH [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out PATH] [--metrics-out PATH] [--decision-log PATH]\n  \
-         trace_tool replay --jobs N --seed S [--policy P] [--budget B] [--workers W] [--chunk-size C] [--out PATH] [--metrics-out PATH] [--decision-log PATH]\n  \
+         trace_tool replay --trace PATH [--policy P] [--budget B] [--placement L] [--workers W] [--chunk-size C] [--out PATH] [--metrics-out PATH] [--decision-log PATH]\n  \
+         trace_tool replay --jobs N --seed S [--policy P] [--budget B] [--placement L] [--workers W] [--chunk-size C] [--out PATH] [--metrics-out PATH] [--decision-log PATH]\n  \
          trace_tool serve-replay --trace PATH [--workers W] [--queue-capacity Q] [--chunk-size C] [--metrics-out PATH] [--decision-log PATH]\n  \
          trace_tool stats --trace PATH [--chunk-size C]\n\n  \
          policies: hadoop-ns (default), hadoop-s, mantri, clone, s-restart, s-resume\n  \
          budgets: `unlimited` (default) or a per-round extra-copy cap (optimizing policies only)\n  \
+         placements: most-free (default), bin-pack, deadline-aware\n  \
          foreign formats: {}",
         chronos_trace::convert::FORMATS.join(", ")
     );
@@ -221,11 +229,17 @@ fn replay(args: &[String]) -> Result<(), String> {
         None => SpeculationBudget::Unlimited,
         Some(raw) => raw.parse().map_err(|err| format!("--budget: {err}"))?,
     };
+    // Parse through `PlacementPolicy::FromStr` directly so the typed error
+    // (which lists the accepted labels) reaches the usage message intact.
+    let placement: PlacementPolicy = match flag_value::<String>(args, "--placement")? {
+        None => PlacementPolicy::default(),
+        Some(raw) => raw.parse().map_err(|err| format!("--placement: {err}"))?,
+    };
     let chronos_config =
         ChronosPolicyConfig::testbed().with_timing(StrategyTiming::trace_default());
 
-    let runner =
-        ShardedRunner::new(replay_config(workers)).map_err(|err| format!("config: {err}"))?;
+    let runner = ShardedRunner::new(replay_config(workers).with_placement(placement))
+        .map_err(|err| format!("config: {err}"))?;
     // Every shard's policy shares this cache: a job profile optimized by
     // any shard is a lookup in every other (the baselines just leave the
     // counters at zero). Budgeted replays additionally share one ledger,
@@ -234,6 +248,7 @@ fn replay(args: &[String]) -> Result<(), String> {
     let ledger = AllocationLedger::shared();
     let builder = PolicyBuilder::new(chronos_config)
         .budgeted(budget)
+        .with_placement(placement)
         .with_ledger(Arc::clone(&ledger));
     // Surface an unbudgetable kind/budget combination as a usage error
     // before any replay work starts, with the builder's typed message.

@@ -1,6 +1,7 @@
 //! Golden-output tests for the experiment binaries.
 //!
-//! `fig2`, `table1`, `fig3`, `table2`, `fig4`, `fig5` and `fig_budget`
+//! `fig2`, `table1`, `fig3`, `table2`, `fig4`, `fig5`, `fig_budget`,
+//! `fig_placement` and `validate_analysis`
 //! embed fixed seeds, so their `--quick` JSON artifacts are fully deterministic
 //! (verified identical across debug and release builds). Each test runs
 //! the real binary into a
@@ -168,5 +169,58 @@ fn fig_budget_quick_matches_golden() {
         "fig_budget",
         "fig_budget.json",
         "fig_budget_quick.json",
+    );
+}
+
+#[test]
+fn fig_placement_quick_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig_placement"),
+        "fig_placement",
+        "fig_placement.json",
+        "fig_placement_quick.json",
+    );
+}
+
+/// Beyond matching the golden, the placement sweep must show the
+/// tentpole's headline result: machine-aware deadline scoring strictly
+/// reduces the s-restart deadline-miss rate versus the historical
+/// most-free scheduler on the tight heterogeneous pool.
+#[test]
+fn fig_placement_deadline_aware_beats_most_free_for_s_restart() {
+    use serde_json::Value;
+    let golden_cells = golden("fig_placement_quick.json");
+    let Value::Array(cells) = &golden_cells else {
+        panic!("golden is a cell array");
+    };
+    let miss = |placement: &str| -> f64 {
+        let cell = cells
+            .iter()
+            .find(|cell| {
+                matches!(cell.get("placement"), Some(Value::Str(p)) if p == placement)
+                    && matches!(cell.get("policy"), Some(Value::Str(p)) if p == "s-restart")
+            })
+            .expect("golden has an s-restart cell per placement");
+        match cell.get("miss_rate") {
+            Some(Value::Number(number)) => number.as_f64(),
+            other => panic!("miss_rate is not a number: {other:?}"),
+        }
+    };
+    assert!(
+        miss("deadline-aware") < miss("most-free"),
+        "deadline-aware must strictly reduce the s-restart miss rate \
+         (deadline-aware: {}, most-free: {})",
+        miss("deadline-aware"),
+        miss("most-free")
+    );
+}
+
+#[test]
+fn validate_analysis_quick_matches_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_validate_analysis"),
+        "validate_analysis",
+        "validate_analysis.json",
+        "validate_analysis_quick.json",
     );
 }

@@ -118,6 +118,19 @@ pub enum TraceEvent {
         /// Phase end, integer microseconds of sim time.
         end_micros: u64,
     },
+    /// The ResourceManager placed an attempt on a node under a non-default
+    /// placement policy. Integers only (the score tier, never the raw
+    /// score) so the event is digest-safe; the default most-free placement
+    /// records nothing, keeping pre-placement-layer traces byte-identical.
+    PlacementDecision {
+        /// Raw node id the attempt was placed on.
+        node: u64,
+        /// Free slots on the node at decision time (before placement).
+        free_slots: u32,
+        /// Deadline-aware score tier (2 = fits the node's busy window,
+        /// 1 = extends it, 0 = empty node; 0 for bin-pack placements).
+        score_bucket: u32,
+    },
 }
 
 impl TraceEvent {
@@ -133,6 +146,7 @@ impl TraceEvent {
             TraceEvent::ServeAdmitted { .. } => 7,
             TraceEvent::ServeOverloaded { .. } => 8,
             TraceEvent::Phase { .. } => 9,
+            TraceEvent::PlacementDecision { .. } => 10,
         }
     }
 
@@ -208,6 +222,15 @@ impl TraceEvent {
                 eat(&start_micros.to_le_bytes());
                 eat(&end_micros.to_le_bytes());
             }
+            TraceEvent::PlacementDecision {
+                node,
+                free_slots,
+                score_bucket,
+            } => {
+                eat(&node.to_le_bytes());
+                eat(&free_slots.to_le_bytes());
+                eat(&score_bucket.to_le_bytes());
+            }
         }
     }
 
@@ -269,6 +292,11 @@ impl TraceEvent {
                 start_micros,
                 end_micros,
             } => format!("phase name={name} start-us={start_micros} end-us={end_micros}"),
+            TraceEvent::PlacementDecision {
+                node,
+                free_slots,
+                score_bucket,
+            } => format!("placement node={node} free-slots={free_slots} bucket={score_bucket}"),
         }
     }
 }
@@ -526,6 +554,35 @@ mod tests {
         }
         assert_eq!(merged_ab.digest(), merged_ba.digest());
         assert_eq!(merged_ab.render_log(), merged_ba.render_log());
+    }
+
+    #[test]
+    fn placement_decision_is_digest_safe_and_greppable() {
+        let mut trace = DecisionTrace::new();
+        trace.record(
+            250_000,
+            TraceEvent::PlacementDecision {
+                node: 3,
+                free_slots: 2,
+                score_bucket: 1,
+            },
+        );
+        assert!(trace
+            .render_log()
+            .contains("t=250000us placement node=3 free-slots=2 bucket=1"));
+        let mut other = DecisionTrace::new();
+        other.record(
+            250_000,
+            TraceEvent::PlacementDecision {
+                node: 3,
+                free_slots: 2,
+                score_bucket: 2,
+            },
+        );
+        assert_ne!(trace.digest(), other.digest());
+        let round: DecisionTrace =
+            serde_json::from_str(&serde_json::to_string(&trace).unwrap()).unwrap();
+        assert_eq!(round, trace);
     }
 
     #[test]

@@ -44,6 +44,22 @@ struct Resident {
     referenced: bool,
 }
 
+impl Resident {
+    /// The entry's memory footprint in bytes: the fixed slot overhead plus
+    /// whatever the resolved result keeps on the heap. `Plan` is `Copy`
+    /// (all-inline), so successful solves weigh the floor; a negative-cached
+    /// error additionally owns its message bytes. An in-flight entry reads
+    /// as the floor too — its final size is unknown and evicting a solve
+    /// that threads are blocked on would waste the work in progress.
+    fn footprint(&self) -> usize {
+        let floor = std::mem::size_of::<Resident>() + std::mem::size_of::<PlanResult>();
+        match self.slot.get() {
+            Some(Err(err)) => floor + err.to_string().len(),
+            Some(Ok(_)) | None => floor,
+        }
+    }
+}
+
 /// One lock stripe: the entry map plus the FIFO scan order the
 /// second-chance eviction walks. `order` contains exactly the resident
 /// keys, oldest insertion first.
@@ -54,26 +70,47 @@ struct Stripe {
 }
 
 impl Stripe {
-    /// Evicts one entry by the clock/second-chance rule: walk the FIFO
-    /// order from the front, give each referenced entry one more round
-    /// (clear its bit, requeue it), evict the first unreferenced one. The
-    /// walk terminates: each requeue clears a bit, so after at most one
-    /// full lap some entry is unreferenced.
+    /// Evicts one entry by the size-aware clock/second-chance rule: scan
+    /// one lap of the FIFO order, give each referenced entry its second
+    /// chance (clear the bit), and among the unreferenced entries victimize
+    /// the one with the **largest [`Resident::footprint`]** — under
+    /// capacity pressure, evicting the heaviest cold entry frees the most
+    /// memory per eviction. Equal footprints (the common case: every
+    /// successful solve weighs the same) tie-break toward the **smallest
+    /// key**, which is deterministic across runs and hosts — never the
+    /// map's per-process iteration order. A lap that finds every entry
+    /// referenced clears all the bits, so the second lap always yields a
+    /// victim.
     fn evict_one(&mut self) {
-        while let Some(candidate) = self.order.pop_front() {
-            let resident = self
-                .map
-                .get_mut(&candidate)
-                .expect("order contains exactly the resident keys");
-            if resident.referenced {
-                resident.referenced = false;
-                self.order.push_back(candidate);
-            } else {
-                self.map.remove(&candidate);
+        for _lap in 0..2 {
+            let mut victim: Option<(usize, ProfileKey, usize)> = None;
+            for (position, key) in self.order.iter().enumerate() {
+                let resident = self
+                    .map
+                    .get_mut(key)
+                    .expect("order contains exactly the resident keys");
+                if resident.referenced {
+                    resident.referenced = false;
+                    continue;
+                }
+                let weight = resident.footprint();
+                let heavier = match &victim {
+                    None => true,
+                    Some((best_weight, best_key, _)) => {
+                        weight > *best_weight || (weight == *best_weight && *key < *best_key)
+                    }
+                };
+                if heavier {
+                    victim = Some((weight, *key, position));
+                }
+            }
+            if let Some((_, key, position)) = victim {
+                self.map.remove(&key);
+                self.order.remove(position);
                 return;
             }
         }
-        unreachable!("evict_one is only called on a non-empty stripe");
+        unreachable!("a bit-cleared lap over a non-empty stripe yields a victim");
     }
 }
 
@@ -239,17 +276,20 @@ impl PlanCache {
 
     /// Bounds the cache to roughly `capacity` entries (split evenly across
     /// stripes, at least one per stripe). When a stripe is full, an entry
-    /// is evicted by a **clock/second-chance** policy: eviction scans the
-    /// stripe's insertion-order FIFO, skips (once) every entry hit since
-    /// the scan last passed it, and removes the first entry that was not.
-    /// Hot profiles therefore stay resident under skewed request streams —
-    /// unlike the earlier smallest-key victim choice, which evicted an
-    /// arbitrary resident and could thrash on precisely the profiles a
-    /// skewed stream re-requests. The choice is still deterministic (it
-    /// depends only on the stripe's hit/insert sequence, never on the
-    /// map's per-process hash seed), so single-threaded workloads replay
-    /// their eviction sequence exactly; the `evictions` counter records
-    /// each removal. Note that under eviction the hit/miss counts of a
+    /// is evicted by a **size-aware clock/second-chance** policy: eviction
+    /// scans the stripe's insertion-order FIFO, spares (once) every entry
+    /// hit since the scan last passed it, and among the rest removes the
+    /// one with the largest footprint — negative-cached errors carry their
+    /// message bytes, so they go before same-aged fixed-size plans. Equal
+    /// footprints tie-break toward the smallest key. Hot profiles therefore
+    /// stay resident under skewed request streams — unlike the earlier
+    /// smallest-key victim choice, which evicted an arbitrary resident and
+    /// could thrash on precisely the profiles a skewed stream re-requests.
+    /// The choice is still deterministic (it depends only on the stripe's
+    /// hit/insert sequence and the entries' contents, never on the map's
+    /// per-process hash seed), so single-threaded workloads replay their
+    /// eviction sequence exactly; the `evictions` counter records each
+    /// removal. Note that under eviction the hit/miss counts of a
     /// *concurrent* workload are no longer scheduling-independent —
     /// production replays should size the capacity above the distinct
     /// profile count (or leave it unbounded, the default).
@@ -468,9 +508,11 @@ mod tests {
     #[test]
     fn capacity_limit_evicts_fifo_when_nothing_is_rehit() {
         // One stripe so the capacity applies to a single map. With no
-        // re-hits, no entry earns a second chance and the clock policy
-        // degenerates to insertion-order FIFO — deterministically, never an
-        // artifact of the map's per-process iteration order.
+        // re-hits and equal footprints (all successful solves), the
+        // smallest-key tie-break is the whole policy; these keys ascend
+        // with insertion, so eviction runs oldest-first —
+        // deterministically, never an artifact of the map's per-process
+        // iteration order.
         let cache = PlanCache::with_stripes(1).with_capacity_limit(2);
         for (index, deadline) in [100.0, 110.0, 120.0, 130.0].iter().enumerate() {
             cache
@@ -546,6 +588,35 @@ mod tests {
         // Despite the peek, 100 (oldest, never re-hit) was the victim.
         assert!(cache.peek(&key(100.0)).is_none());
         assert!(cache.peek(&key(110.0)).is_some());
+    }
+
+    #[test]
+    fn eviction_weighs_entry_footprint_under_pressure() {
+        // Regression against the unweighted clock policy: the scan reaches
+        // the unreferenced small `Ok` entry first (oldest insertion) and
+        // would evict it. The size-aware policy must instead victimize the
+        // negative-cached error, whose message bytes make it the heaviest
+        // cold entry — even though it is newer.
+        let cache = PlanCache::with_stripes(1).with_capacity_limit(2);
+        cache.get_or_compute(key(100.0), || plan(1)).unwrap();
+        let heavy = cache.get_or_compute(key(110.0), || {
+            Err(chronos_core::ChronosError::infeasible(
+                "a deliberately long infeasibility explanation whose message bytes \
+                 dominate the fixed per-entry footprint of a successful plan",
+            ))
+        });
+        assert!(heavy.is_err());
+        cache.get_or_compute(key(120.0), || plan(3)).unwrap();
+        assert!(
+            cache.peek(&key(100.0)).is_some(),
+            "the small old entry must survive under size-aware eviction"
+        );
+        assert!(
+            cache.peek(&key(110.0)).is_none(),
+            "the heavy negative-cached error must be the victim"
+        );
+        assert!(cache.peek(&key(120.0)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! reporting cadence and which completion-time estimator the Application
 //! Master uses.
 
+use crate::cluster::PlacementPolicy;
 use crate::error::SimError;
 use serde::{Deserialize, Serialize};
 
@@ -21,6 +22,12 @@ pub struct ClusterSpec {
     /// closed-form validation experiments use. Populated by the contention
     /// model in `chronos-trace` for the realistic runs.
     pub slowdowns: Vec<f64>,
+    /// How the ResourceManager places attempts on nodes. Defaults to
+    /// [`PlacementPolicy::MostFree`], the pre-placement-layer behavior;
+    /// the policy's hand-written serde impl treats a missing field as that
+    /// default, so configurations serialized before this field existed
+    /// keep their exact semantics.
+    pub placement: PlacementPolicy,
 }
 
 impl ClusterSpec {
@@ -31,7 +38,15 @@ impl ClusterSpec {
             nodes,
             slots_per_node,
             slowdowns: Vec::new(),
+            placement: PlacementPolicy::MostFree,
         }
+    }
+
+    /// Returns a copy with the given placement policy.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
     }
 
     /// Total container count.
@@ -327,6 +342,13 @@ impl SimConfig {
         self.sharding = sharding;
         self
     }
+
+    /// Returns a copy with the given placement policy on its cluster.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.cluster.placement = placement;
+        self
+    }
 }
 
 impl Default for SimConfig {
@@ -402,6 +424,26 @@ mod tests {
         assert!(validation.validate().is_ok());
         assert_eq!(validation.jvm, JvmModel::disabled());
         assert_eq!(validation.seed, 7);
+    }
+
+    #[test]
+    fn placement_field_defaults_and_round_trips() {
+        // Specs serialized before the placement layer existed carry no
+        // placement field; they must deserialize to the pre-refactor
+        // behavior.
+        let legacy = r#"{"nodes":2,"slots_per_node":4,"slowdowns":[]}"#;
+        let spec: ClusterSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(spec.placement, PlacementPolicy::MostFree);
+        assert!(spec.validate().is_ok());
+
+        let spec = spec.with_placement(PlacementPolicy::DeadlineAware);
+        let round: ClusterSpec =
+            serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_eq!(round, spec);
+
+        let config = SimConfig::default().with_placement(PlacementPolicy::BinPack);
+        assert_eq!(config.cluster.placement, PlacementPolicy::BinPack);
+        assert!(config.validate().is_ok());
     }
 
     #[test]

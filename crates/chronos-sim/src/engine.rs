@@ -51,7 +51,7 @@
 //! [`SpeculationPolicy::on_job_submit_replayed`].
 
 use crate::attempt::{Attempt, AttemptState};
-use crate::cluster::ResourceManager;
+use crate::cluster::{PlacementPolicy, PlacementRequest, ResourceManager};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::event::{Event, EventQueue};
@@ -540,7 +540,7 @@ impl Simulation {
             for _ in 0..=decision.extra_clones_per_task {
                 let attempt_id = self.create_attempt_unqueued(task_id, 0.0)?;
                 if !self.rm.has_waiting_work() {
-                    if let Some(node) = self.rm.try_assign() {
+                    if let Some(node) = self.place_attempt(attempt_id) {
                         self.start_attempt(attempt_id, node);
                         continue;
                     }
@@ -570,16 +570,18 @@ impl Simulation {
     }
 
     fn handle_attempt_completion(&mut self, attempt_id: AttemptId) -> Result<(), SimError> {
-        let (task_id, node) = {
+        let (task_id, node, completion) = {
             let attempt = &mut self.attempts[attempt_id.raw() as usize];
             // Stale completions were filtered out by the run loop.
             debug_assert_eq!(attempt.state, AttemptState::Running);
+            let completion = attempt.completion_time();
             attempt.state = AttemptState::Finished;
             attempt.ended_at = Some(self.now);
-            (attempt.task, attempt.node)
+            (attempt.task, attempt.node, completion)
         };
         if let Some(node) = node {
-            self.rm.release(node)?;
+            let at = completion.unwrap_or(self.now).as_micros();
+            self.rm.release_scheduled(node, at)?;
         }
 
         let task_idx = task_id.raw() as usize;
@@ -767,13 +769,62 @@ impl Simulation {
             if !still_pending {
                 continue;
             }
-            let Some(node) = self.rm.try_assign() else {
+            let Some(node) = self.place_attempt(attempt_id) else {
                 // No slot after all; put it back at the front-equivalent
                 // position by re-enqueueing and bail out.
                 self.rm.enqueue_pending(attempt_id);
                 return;
             };
             self.start_attempt(attempt_id, node);
+        }
+    }
+
+    /// Picks a node for `attempt_id` under the configured placement policy
+    /// and records a [`TraceEvent::PlacementDecision`] for non-default
+    /// policies. The default `MostFree` policy records nothing so existing
+    /// trace digests are untouched.
+    fn place_attempt(&mut self, attempt_id: AttemptId) -> Option<NodeId> {
+        let placement = self.rm.placement();
+        let request = if placement == PlacementPolicy::DeadlineAware {
+            self.placement_request(attempt_id)
+        } else {
+            PlacementRequest::default()
+        };
+        let choice = self.rm.try_place(request)?;
+        if placement != PlacementPolicy::MostFree {
+            if let Some(trace) = self.trace.as_mut() {
+                trace.record(
+                    self.now.as_micros(),
+                    TraceEvent::PlacementDecision {
+                        node: choice.node.raw(),
+                        free_slots: choice.free_slots,
+                        score_bucket: u32::from(choice.score_bucket),
+                    },
+                );
+            }
+        }
+        Some(choice.node)
+    }
+
+    /// Causal expected-duration estimate for an attempt: the profile mean
+    /// of the remaining work plus the midpoint JVM warm-up, in sim micros.
+    /// Uses only the job profile — never the sampled work, which has not
+    /// been drawn yet — so the RNG draw order is identical across policies.
+    fn placement_request(&self, attempt_id: AttemptId) -> PlacementRequest {
+        let attempt = &self.attempts[attempt_id.raw() as usize];
+        let hot = self.task_hot[attempt.task.raw() as usize];
+        let beta = 1.0 / hot.inv_beta;
+        let mean = if beta > 1.0 {
+            hot.t_min * beta / (beta - 1.0)
+        } else {
+            // Infinite-mean Pareto tail: fall back to twice the scale.
+            hot.t_min * 2.0
+        };
+        let remaining = mean * hot.size_factor * (1.0 - attempt.start_fraction);
+        let jvm = 0.5 * (self.config.jvm.min_secs + self.config.jvm.max_secs);
+        PlacementRequest {
+            now_micros: self.now.as_micros(),
+            expected_micros: SimDuration::from_secs(remaining.max(0.0) + jvm).as_micros(),
         }
     }
 
@@ -798,6 +849,8 @@ impl Simulation {
         let completion = attempt
             .completion_time()
             .expect("started attempts have a completion time");
+        self.rm
+            .note_scheduled_completion(node, completion.as_micros());
         self.events
             .schedule(completion, Event::AttemptCompletion(attempt_id));
     }
@@ -807,7 +860,7 @@ impl Simulation {
         let Some(attempt) = self.attempts.get(attempt_idx) else {
             return Err(SimError::unknown(format!("{attempt_id}")));
         };
-        let (state, node) = (attempt.state, attempt.node);
+        let (state, node, completion) = (attempt.state, attempt.node, attempt.completion_time());
         match state {
             AttemptState::Finished | AttemptState::Killed => Ok(()),
             AttemptState::Pending => {
@@ -825,7 +878,10 @@ impl Simulation {
                 attempt.ended_at = Some(self.now);
                 let (job, task) = (attempt.job, attempt.task);
                 if let Some(node) = node {
-                    self.rm.release(node)?;
+                    // Killed while running: drop the future completion entry
+                    // that was registered when the attempt started.
+                    let at = completion.unwrap_or(self.now).as_micros();
+                    self.rm.release_scheduled(node, at)?;
                 }
                 self.record_copy_killed(job, task, attempt_id);
                 Ok(())

@@ -59,6 +59,7 @@ pub mod time;
 
 pub mod prelude;
 
+pub use cluster::{ParsePlacementError, PlacementChoice, PlacementPolicy, PlacementRequest};
 pub use config::{ClusterSpec, EstimatorKind, JvmModel, ShardSpec, SimConfig};
 pub use engine::Simulation;
 pub use error::SimError;

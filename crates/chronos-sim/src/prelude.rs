@@ -1,7 +1,9 @@
 //! Convenience re-exports for simulator users and policy implementors.
 
 pub use crate::attempt::{Attempt, AttemptState};
-pub use crate::cluster::{Node, ResourceManager};
+pub use crate::cluster::{
+    Node, ParsePlacementError, PlacementChoice, PlacementPolicy, PlacementRequest, ResourceManager,
+};
 pub use crate::config::{ClusterSpec, EstimatorKind, JvmModel, ShardSpec, SimConfig};
 pub use crate::engine::Simulation;
 pub use crate::error::SimError;

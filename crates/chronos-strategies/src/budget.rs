@@ -22,8 +22,8 @@ use crate::{
 use chronos_core::{ChronosError, Optimizer, StrategyKind};
 use chronos_plan::{allocate, AllocationLedger, BudgetJob, PlanCache, Planner, SpeculationBudget};
 use chronos_sim::prelude::{
-    BatchDiagnostics, BatchPlan, CheckSchedule, JobSubmitView, JobView, PolicyAction, SimError,
-    SpeculationPolicy, SubmitDecision,
+    BatchDiagnostics, BatchPlan, CheckSchedule, JobSubmitView, JobView, PlacementPolicy,
+    PolicyAction, SimError, SpeculationPolicy, SubmitDecision,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -102,6 +102,7 @@ pub struct PolicyBuilder {
     cache: Option<Arc<PlanCache>>,
     budget: SpeculationBudget,
     ledger: Option<Arc<AllocationLedger>>,
+    placement: PlacementPolicy,
 }
 
 impl PolicyBuilder {
@@ -114,6 +115,7 @@ impl PolicyBuilder {
             cache: None,
             budget: SpeculationBudget::default(),
             ledger: None,
+            placement: PlacementPolicy::default(),
         }
     }
 
@@ -142,6 +144,23 @@ impl PolicyBuilder {
     pub fn with_ledger(mut self, ledger: Arc<AllocationLedger>) -> Self {
         self.ledger = Some(ledger);
         self
+    }
+
+    /// Sets the cluster placement policy experiment harnesses should apply
+    /// to their [`chronos_sim::prelude::SimConfig`]. The builder carries
+    /// the choice alongside the strategy options so one value threads a
+    /// whole line-up; policies themselves never see it — placement is
+    /// enforced by the simulator's `ResourceManager`.
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// The configured placement policy (default [`PlacementPolicy::MostFree`]).
+    #[must_use]
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
     }
 
     /// The configured budget.
@@ -445,6 +464,18 @@ mod tests {
         for kind in PolicyKind::ALL {
             assert_eq!(unlimited.build(kind).unwrap().name(), kind.label());
         }
+    }
+
+    #[test]
+    fn builder_threads_the_placement_choice() {
+        let builder = PolicyBuilder::new(ChronosPolicyConfig::testbed());
+        assert_eq!(builder.placement(), PlacementPolicy::MostFree);
+        let builder = builder.with_placement(PlacementPolicy::DeadlineAware);
+        assert_eq!(builder.placement(), PlacementPolicy::DeadlineAware);
+        // Placement composes with the other options without affecting them.
+        let builder = builder.budgeted(SpeculationBudget::Limited(4));
+        assert_eq!(builder.placement(), PlacementPolicy::DeadlineAware);
+        assert_eq!(builder.budget(), SpeculationBudget::Limited(4));
     }
 
     #[test]
